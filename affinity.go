@@ -1,0 +1,194 @@
+// Package affinity reproduces "The Performance Impact of Scheduling for
+// Cache Affinity in Parallel Network Processing" (Salehi, Kurose,
+// Towsley; HPDC-4, 1995): processor-cache affinity scheduling of
+// parallelized UDP/IP/FDDI protocol processing on a shared-memory
+// multiprocessor, evaluated with an analytic cache model driving a
+// discrete-event simulation.
+//
+// This package is the public facade. The pieces live in internal
+// packages and are re-exported here:
+//
+//   - The analytic execution-time model (internal/core): footprint
+//     function u(R, L), displacement fractions F1/F2, and the two-level
+//     reload-transient interpolation T(x).
+//   - The multiprocessor simulation (internal/sim): Locking vs IPS
+//     parallelization under the affinity scheduling policies
+//     (internal/sched), with Poisson/bursty/packet-train traffic
+//     (internal/traffic) and a displacing non-protocol workload
+//     (internal/workload).
+//   - The calibration pipeline (internal/calib): a trace-driven cache
+//     simulator (internal/cachesim) replaying protocol reference traces
+//     (internal/memtrace) to regenerate the paper's measured packet
+//     times.
+//   - The executable x-kernel-style UDP/IP/FDDI receive path
+//     (internal/xkernel, internal/driver).
+//   - The experiment suite (internal/exp): one experiment per paper
+//     table/figure; see DESIGN.md and EXPERIMENTS.md.
+//
+// Quick start:
+//
+//	res := affinity.Run(affinity.Params{
+//		Paradigm: affinity.Locking,
+//		Policy:   affinity.MRU,
+//		Streams:  8,
+//		Arrival:  affinity.Poisson{PacketsPerSec: 2000},
+//	})
+//	fmt.Printf("mean delay %.1f µs\n", res.MeanDelay)
+package affinity
+
+import (
+	"affinity/internal/cachesim"
+	"affinity/internal/calib"
+	"affinity/internal/core"
+	"affinity/internal/exp"
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/traffic"
+	"affinity/internal/workload"
+)
+
+// Model types (the paper's analytic contribution).
+type (
+	// Model is the packet execution-time model: platform geometry,
+	// displacing-workload locality and calibration anchors.
+	Model = core.Model
+	// Platform describes the multiprocessor and its cache hierarchy.
+	Platform = core.Platform
+	// CacheConfig describes one cache level.
+	CacheConfig = core.CacheConfig
+	// Calibration holds the measured packet times (t_warm, t_L1cold,
+	// t_cold).
+	Calibration = core.Calibration
+	// WorkloadParams are the Singh–Stone–Thiebaut u(R, L) constants.
+	WorkloadParams = core.WorkloadParams
+)
+
+// NewModel returns the paper's default model: SGI Challenge XL platform,
+// MVS non-protocol workload, paper calibration.
+func NewModel() *Model { return core.NewModel() }
+
+// SGIChallengeXL returns the paper's experimental platform description.
+func SGIChallengeXL() Platform { return core.SGIChallengeXL() }
+
+// MVSWorkload returns the published MVS-trace workload constants.
+func MVSWorkload() WorkloadParams { return core.MVSWorkload() }
+
+// PaperCalibration returns the calibration used throughout the
+// reproduction (t_cold anchored on the paper's 284.3 µs).
+func PaperCalibration() Calibration { return core.PaperCalibration() }
+
+// SendCalibration returns the send-side fast-path calibration (paper
+// extension (i)); NewSendModel returns the default model using it.
+func SendCalibration() Calibration { return core.SendCalibration() }
+
+// NewSendModel returns the default model with send-side calibration.
+func NewSendModel() *Model { return core.NewSendModel() }
+
+// TCPCalibration returns the TCP/IP receive fast-path calibration
+// (experiment E21); NewTCPModel returns the default model using it.
+func TCPCalibration() Calibration { return core.TCPCalibration() }
+
+// NewTCPModel returns the default model with TCP calibration.
+func NewTCPModel() *Model { return core.NewTCPModel() }
+
+// Simulation types.
+type (
+	// Params configures one simulation run.
+	Params = sim.Params
+	// Results reports one run's metrics.
+	Results = sim.Results
+	// Paradigm selects Locking or IPS parallelization.
+	Paradigm = sim.Paradigm
+	// Policy names a scheduling policy.
+	Policy = sched.Kind
+	// NonProtocol describes the displacing background workload.
+	NonProtocol = workload.NonProtocol
+)
+
+// Parallelization paradigms.
+const (
+	// Locking is the shared, lock-protected protocol stack.
+	Locking = sim.Locking
+	// IPS is Independent Protocol Stacks.
+	IPS = sim.IPS
+	// Hybrid wires streams to independent stacks but spills queue
+	// build-ups to a shared locking path (the companion TR's proposal).
+	Hybrid = sim.Hybrid
+)
+
+// Scheduling policies.
+const (
+	// FCFS is the no-affinity Locking baseline.
+	FCFS = sched.FCFS
+	// MRU prefers each stream's most-recently-used processor.
+	MRU = sched.MRU
+	// ThreadPools uses per-processor thread pools with stealing.
+	ThreadPools = sched.ThreadPools
+	// WiredStreams statically binds streams to processors.
+	WiredStreams = sched.WiredStreams
+	// IPSWired binds each independent stack to one processor.
+	IPSWired = sched.IPSWired
+	// IPSMRU lets ready stacks prefer their most-recent processor.
+	IPSMRU = sched.IPSMRU
+	// IPSRandom places ready stacks on random idle processors (the IPS
+	// no-affinity baseline).
+	IPSRandom = sched.IPSRandom
+)
+
+// Traffic models.
+type (
+	// Poisson arrivals at a fixed mean rate.
+	Poisson = traffic.Poisson
+	// Deterministic constant-gap arrivals.
+	Deterministic = traffic.Deterministic
+	// Batch is bursty arrivals: Poisson burst events carrying
+	// geometrically many packets.
+	Batch = traffic.Batch
+	// Train is the Jain–Routhier packet-train model.
+	Train = traffic.Train
+	// ArrivalSpec is any per-stream arrival process description.
+	ArrivalSpec = traffic.Spec
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(p Params) Results { return sim.Run(p) }
+
+// RunMany executes independent simulations concurrently (workers ≤ 0
+// selects GOMAXPROCS) and returns results in input order; determinism is
+// preserved because each run derives all randomness from its own seed.
+func RunMany(params []Params, workers int) []Results {
+	return sim.RunMany(params, workers)
+}
+
+// DefaultBackground returns the paper's loaded host (V = 1), and
+// IdleBackground the idle host (V = 0) used for upper-bound curves.
+func DefaultBackground() NonProtocol { return workload.Default() }
+
+// IdleBackground returns the V = 0 host.
+func IdleBackground() NonProtocol { return workload.Idle() }
+
+// Calibrate reruns the controlled-cache-state measurements on the cache
+// simulator for the given platform, returning raw and normalized packet
+// times (see internal/calib).
+func Calibrate(p Platform) CalibrationResult {
+	return calib.Measure(p, cachesim.DefaultTiming())
+}
+
+// CalibrationResult carries raw and normalized calibration output.
+type CalibrationResult = calib.Result
+
+// Experiment types: the per-table/per-figure reproduction suite.
+type (
+	// Experiment reproduces one paper table or figure.
+	Experiment = exp.Experiment
+	// ExperimentConfig controls experiment execution.
+	ExperimentConfig = exp.Config
+	// ResultTable is an experiment's rendered output.
+	ResultTable = exp.Table
+)
+
+// Experiments returns the full reproduction suite in presentation order.
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID looks up one experiment (e.g. "E5", "T2").
+func ExperimentByID(id string) (Experiment, bool) { return exp.ByID(id) }

@@ -1,0 +1,103 @@
+package affinity_test
+
+import (
+	"strings"
+	"testing"
+
+	"affinity"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	res := affinity.Run(affinity.Params{
+		Paradigm:        affinity.Locking,
+		Policy:          affinity.MRU,
+		Streams:         8,
+		Arrival:         affinity.Poisson{PacketsPerSec: 1000},
+		Seed:            1,
+		MeasuredPackets: 2000,
+	})
+	if res.Completed != 2000 {
+		t.Fatalf("Completed = %d", res.Completed)
+	}
+	if res.MeanDelay <= 0 {
+		t.Fatal("no delay measured")
+	}
+}
+
+func TestPublicModel(t *testing.T) {
+	m := affinity.NewModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExecTime(0) != affinity.PaperCalibration().TWarm {
+		t.Fatal("warm exec time mismatch")
+	}
+	if affinity.SGIChallengeXL().Processors != 8 {
+		t.Fatal("platform mismatch")
+	}
+	if affinity.MVSWorkload().B == 0 {
+		t.Fatal("workload constants missing")
+	}
+}
+
+func TestPublicCalibrate(t *testing.T) {
+	r := affinity.Calibrate(affinity.SGIChallengeXL())
+	if r.Normalized.TCold != 284.3 {
+		t.Fatalf("calibration anchor = %v", r.Normalized.TCold)
+	}
+}
+
+func TestPublicBackgrounds(t *testing.T) {
+	if affinity.DefaultBackground().Intensity != 1 {
+		t.Fatal("default background intensity")
+	}
+	if affinity.IdleBackground().Intensity != 0 {
+		t.Fatal("idle background intensity")
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	all := affinity.Experiments()
+	if len(all) != 27 {
+		t.Fatalf("Experiments() = %d entries, want 27", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := affinity.ExperimentByID("e5"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := affinity.ExperimentByID("E99"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+}
+
+func TestPublicExperimentOutput(t *testing.T) {
+	e, _ := affinity.ExperimentByID("T1")
+	tbl := e.Run(affinity.ExperimentConfig{Quick: true, Seed: 1})
+	out := tbl.String()
+	if !strings.Contains(out, "284.3") {
+		t.Fatalf("T1 output missing the paper's t_cold anchor:\n%s", out)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("ragged row %v vs columns %v", row, tbl.Columns)
+		}
+	}
+}
+
+func TestPublicPolicyParadigmPairs(t *testing.T) {
+	if !affinity.MRU.ForLocking() || affinity.MRU.ForIPS() {
+		t.Fatal("MRU paradigm flags")
+	}
+	if !affinity.IPSRandom.ForIPS() {
+		t.Fatal("IPSRandom paradigm flags")
+	}
+}

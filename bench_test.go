@@ -1,0 +1,171 @@
+// Benchmarks: one per reproduced table/figure (regenerating the
+// experiment's rows in quick mode), plus micro-benchmarks for the hot
+// components — the analytic model, the cache simulator, the DES engine,
+// the protocol receive path, and the simulation itself.
+//
+// Run with: go test -bench=. -benchmem
+package affinity_test
+
+import (
+	"testing"
+
+	"affinity"
+	"affinity/internal/cachesim"
+	"affinity/internal/core"
+	"affinity/internal/des"
+	"affinity/internal/driver"
+	"affinity/internal/memtrace"
+	"affinity/internal/xkernel"
+	"affinity/internal/xkernel/fddi"
+	"affinity/internal/xkernel/ip"
+)
+
+// benchExperiment regenerates one experiment's table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := affinity.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	cfg := affinity.ExperimentConfig{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Run(cfg); len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per paper table/figure (see DESIGN.md §4).
+func BenchmarkTableT1Params(b *testing.B)             { benchExperiment(b, "T1") }
+func BenchmarkTableT2Calibration(b *testing.B)        { benchExperiment(b, "T2") }
+func BenchmarkFigE1Footprint(b *testing.B)            { benchExperiment(b, "E1") }
+func BenchmarkFigE2Displacement(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkFigE3ExecTime(b *testing.B)             { benchExperiment(b, "E3") }
+func BenchmarkFigE4Validation(b *testing.B)           { benchExperiment(b, "E4") }
+func BenchmarkFigE5LockingDelay(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkFigE6LockingPolicies(b *testing.B)      { benchExperiment(b, "E6") }
+func BenchmarkFigE7IPSPolicies(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkFigE8LockingReduction(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkFigE9IPSReduction(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkFigE10ParadigmCompare(b *testing.B)     { benchExperiment(b, "E10") }
+func BenchmarkFigE11StreamCapacity(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkFigE12Scalability(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkFigE13Burstiness(b *testing.B)          { benchExperiment(b, "E13") }
+func BenchmarkFigE14StackCount(b *testing.B)          { benchExperiment(b, "E14") }
+func BenchmarkFigE15PacketTrains(b *testing.B)        { benchExperiment(b, "E15") }
+func BenchmarkFigE16DataTouch(b *testing.B)           { benchExperiment(b, "E16") }
+func BenchmarkFigE17SendSide(b *testing.B)            { benchExperiment(b, "E17") }
+func BenchmarkFigE18Hybrid(b *testing.B)              { benchExperiment(b, "E18") }
+func BenchmarkFigE19Ablations(b *testing.B)           { benchExperiment(b, "E19") }
+func BenchmarkFigE20QueueingValidation(b *testing.B)  { benchExperiment(b, "E20") }
+func BenchmarkFigE21TCP(b *testing.B)                 { benchExperiment(b, "E21") }
+func BenchmarkFigE22Heterogeneous(b *testing.B)       { benchExperiment(b, "E22") }
+func BenchmarkFigE23SeedRobustness(b *testing.B)      { benchExperiment(b, "E23") }
+func BenchmarkFigE24PlatformSensitivity(b *testing.B) { benchExperiment(b, "E24") }
+func BenchmarkFigE25DataTouchRate(b *testing.B)       { benchExperiment(b, "E25") }
+
+// --- micro-benchmarks ---
+
+func BenchmarkModelExecTime(b *testing.B) {
+	m := core.NewModel()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += m.ExecTime(float64(i%200000) * 10)
+	}
+	_ = sum
+}
+
+func BenchmarkModelDisplacedFraction(b *testing.B) {
+	c := core.SGIChallengeXL().L2
+	w := core.MVSWorkload()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += core.DisplacedFraction(w.UniqueLines(float64(i%100000), 128), c)
+	}
+	_ = sum
+}
+
+func BenchmarkCacheSimAccess(b *testing.B) {
+	h := cachesim.New(core.SGIChallengeXL(), cachesim.DefaultTiming())
+	trace := memtrace.NewProtocolTrace(0).Packet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := trace[i%len(trace)]
+		h.Access(r.Addr, r.Kind)
+	}
+}
+
+func BenchmarkCacheSimColdPacket(b *testing.B) {
+	h := cachesim.New(core.SGIChallengeXL(), cachesim.DefaultTiming())
+	trace := memtrace.NewProtocolTrace(0).Packet()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.FlushAll()
+		for _, r := range trace {
+			h.Access(r.Addr, r.Kind)
+		}
+	}
+}
+
+func BenchmarkDESScheduleFire(b *testing.B) {
+	s := des.NewSimulator()
+	for i := 0; i < b.N; i++ {
+		s.Schedule(des.Time(i%64), func() {})
+		s.Step()
+	}
+}
+
+func BenchmarkProtocolDemuxSmallPacket(b *testing.B) {
+	host := driver.NewStack(driver.Config{
+		MAC:            fddi.Addr{0x02, 0, 0, 0, 0, 0x01},
+		Addr:           ip.MustParse(10, 0, 0, 1),
+		VerifyChecksum: true,
+	})
+	if _, err := host.UDP.Bind(9, nil); err != nil {
+		b.Fatal(err)
+	}
+	flow := driver.NewFlow(
+		driver.Endpoint{MAC: fddi.Addr{0x02, 0, 0, 0, 0, 0x02}, Addr: ip.MustParse(10, 0, 0, 2), Port: 1},
+		driver.Endpoint{MAC: fddi.Addr{0x02, 0, 0, 0, 0, 0x01}, Addr: ip.MustParse(10, 0, 0, 1), Port: 9},
+	)
+	flow.Checksum = true
+	frame := flow.Build(64)
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := host.Deliver(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChecksumMaxFDDIPayload(b *testing.B) {
+	payload := make([]byte, 4432)
+	b.SetBytes(4432)
+	for i := 0; i < b.N; i++ {
+		xkernel.Checksum(0, payload)
+	}
+}
+
+func BenchmarkSimulationPerPacket(b *testing.B) {
+	// Cost of one simulated packet through the DES + model + policies.
+	n := b.N
+	if n < 100 {
+		n = 100
+	}
+	p := affinity.Params{
+		Paradigm:        affinity.Locking,
+		Policy:          affinity.MRU,
+		Streams:         8,
+		Arrival:         affinity.Poisson{PacketsPerSec: 2000},
+		Seed:            1,
+		MeasuredPackets: n,
+	}
+	b.ResetTimer()
+	res := affinity.Run(p)
+	b.StopTimer()
+	if res.Completed == 0 {
+		b.Fatal("no packets completed")
+	}
+}

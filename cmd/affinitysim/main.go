@@ -1,0 +1,141 @@
+// Command affinitysim runs one configurable simulation of parallel
+// protocol processing under an affinity scheduling policy and prints its
+// metrics.
+//
+// Examples:
+//
+//	affinitysim -paradigm locking -policy mru -streams 16 -rate 2000
+//	affinitysim -paradigm ips -policy wired -streams 16 -stacks 16 -rate 1000
+//	affinitysim -paradigm locking -policy fcfs -rate 1000 -burst 16 -intensity 0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"affinity"
+)
+
+var policies = map[string]affinity.Policy{
+	"fcfs":   affinity.FCFS,
+	"mru":    affinity.MRU,
+	"pools":  affinity.ThreadPools,
+	"wired":  affinity.WiredStreams,
+	"random": affinity.IPSRandom,
+}
+
+var ipsPolicies = map[string]affinity.Policy{
+	"wired":  affinity.IPSWired,
+	"mru":    affinity.IPSMRU,
+	"random": affinity.IPSRandom,
+}
+
+func main() {
+	var (
+		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
+		paradigm  = flag.String("paradigm", "locking", "parallelization: locking | ips | hybrid")
+		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired; ips: wired|mru|random")
+		streams   = flag.Int("streams", 8, "number of packet streams")
+		stacks    = flag.Int("stacks", 0, "independent stacks (ips only; 0 = min(streams, processors))")
+		procs     = flag.Int("processors", 0, "processors (0 = platform default of 8)")
+		rate      = flag.Float64("rate", 1000, "per-stream packet rate (pkt/s)")
+		burst     = flag.Float64("burst", 1, "mean burst size (1 = plain Poisson)")
+		train     = flag.Float64("train", 0, "mean packet-train length (0 = disabled)")
+		intensity = flag.Float64("intensity", 1, "non-protocol workload intensity V in [0,1]")
+		dataTouch = flag.Float64("datatouch", 0, "per-packet data-touching cost (µs)")
+		packets   = flag.Int("packets", 15000, "measured packet completions")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	p := affinity.Params{
+		Streams:         *streams,
+		Stacks:          *stacks,
+		Processors:      *procs,
+		DataTouch:       *dataTouch,
+		Seed:            *seed,
+		MeasuredPackets: *packets,
+	}
+	switch strings.ToLower(*paradigm) {
+	case "locking":
+		p.Paradigm = affinity.Locking
+		pol, ok := policies[strings.ToLower(*policy)]
+		if !ok || !pol.ForLocking() {
+			fail("unknown locking policy %q (fcfs|mru|pools|wired)", *policy)
+		}
+		p.Policy = pol
+	case "ips":
+		p.Paradigm = affinity.IPS
+		pol, ok := ipsPolicies[strings.ToLower(*policy)]
+		if !ok {
+			fail("unknown ips policy %q (wired|mru|random)", *policy)
+		}
+		p.Policy = pol
+	case "hybrid":
+		p.Paradigm = affinity.Hybrid
+		pol, ok := ipsPolicies[strings.ToLower(*policy)]
+		if !ok {
+			fail("unknown hybrid policy %q (wired|mru|random)", *policy)
+		}
+		p.Policy = pol
+	default:
+		fail("unknown paradigm %q (locking|ips|hybrid)", *paradigm)
+	}
+	switch {
+	case *train > 1:
+		p.Arrival = affinity.Train{PacketsPerSec: *rate, MeanTrainLen: *train, IntraGap: 150}
+	case *burst > 1:
+		p.Arrival = affinity.Batch{PacketsPerSec: *rate, MeanBurst: *burst}
+	default:
+		p.Arrival = affinity.Poisson{PacketsPerSec: *rate}
+	}
+	bg := affinity.DefaultBackground()
+	bg.Intensity = *intensity
+	if *intensity == 0 {
+		bg = affinity.IdleBackground()
+	}
+	p.Background = &bg
+
+	res := affinity.Run(p)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fail("encoding results: %v", err)
+		}
+	} else {
+		printResults(res)
+	}
+	if res.Saturated {
+		os.Exit(2)
+	}
+}
+
+func printResults(r affinity.Results) {
+	fmt.Printf("paradigm        %s\n", r.Paradigm)
+	fmt.Printf("policy          %s\n", r.Policy)
+	fmt.Printf("offered load    %.0f pkt/s\n", r.OfferedRate)
+	fmt.Printf("throughput      %.0f pkt/s\n", r.Throughput)
+	fmt.Printf("mean delay      %.1f µs (±%.1f, 95%% CI)\n", r.MeanDelay, r.DelayCI)
+	fmt.Printf("p95 delay       %.1f µs\n", r.P95Delay)
+	fmt.Printf("mean service    %.1f µs\n", r.MeanService)
+	fmt.Printf("mean queueing   %.1f µs\n", r.MeanQueueing)
+	if r.MeanLockWait > 0 {
+		fmt.Printf("mean lock wait  %.1f µs\n", r.MeanLockWait)
+	}
+	fmt.Printf("warm fraction   %.2f\n", r.WarmFraction)
+	fmt.Printf("migrations      %d (cold starts %d)\n", r.Migrations, r.ColdStarts)
+	fmt.Printf("utilization     %.2f\n", r.Utilization)
+	fmt.Printf("completed       %d packets in %v simulated\n", r.Completed, r.SimTime)
+	if r.Saturated {
+		fmt.Printf("SATURATED: offered load exceeds sustainable throughput (%d packets still queued)\n", r.QueueAtEnd)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "affinitysim: "+format+"\n", args...)
+	os.Exit(1)
+}

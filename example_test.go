@@ -1,0 +1,62 @@
+package affinity_test
+
+import (
+	"fmt"
+
+	"affinity"
+)
+
+// The library's core use: simulate parallel protocol processing under a
+// scheduling policy and read the delay metrics.
+func ExampleRun() {
+	res := affinity.Run(affinity.Params{
+		Paradigm:        affinity.Locking,
+		Policy:          affinity.WiredStreams,
+		Streams:         8,
+		Arrival:         affinity.Deterministic{PacketsPerSec: 1000},
+		Background:      &affinity.NonProtocol{Intensity: 0}, // idle host
+		Seed:            1,
+		MeasuredPackets: 2000,
+	})
+	// On the idle host with wired streams every packet after the first
+	// runs fully warm: t_warm (148.2) + lock overhead (12), with only
+	// the eight initial cold starts above it.
+	floor := affinity.PaperCalibration().TWarm + 12
+	fmt.Printf("service within 1 µs of warm floor: %v, warm fraction %.2f\n",
+		res.MeanService-floor < 1, res.WarmFraction)
+	// Output:
+	// service within 1 µs of warm floor: true, warm fraction 1.00
+}
+
+// The analytic model can be queried directly: how long does a packet
+// take after x microseconds of full-speed displacing execution?
+func ExampleModel_ExecTime() {
+	m := affinity.NewModel()
+	rate := m.Platform.RefsPerMicrosecond()
+	for _, x := range []float64{0, 1000, 1e6} {
+		fmt.Printf("T(%.0f µs) = %.1f µs\n", x, m.ExecTime(x*rate))
+	}
+	// Output:
+	// T(0 µs) = 148.2 µs
+	// T(1000 µs) = 203.0 µs
+	// T(1000000 µs) = 282.3 µs
+}
+
+// Calibration reruns the paper's controlled-cache-state measurements on
+// the cache simulator.
+func ExampleCalibrate() {
+	r := affinity.Calibrate(affinity.SGIChallengeXL())
+	fmt.Printf("cold %.1f µs (anchored), warm %.1f µs\n",
+		r.Normalized.TCold, r.Normalized.TWarm)
+	// Output:
+	// cold 284.3 µs (anchored), warm 148.2 µs
+}
+
+// Experiments regenerate the paper's tables and figures.
+func ExampleExperimentByID() {
+	e, _ := affinity.ExperimentByID("T1")
+	tbl := e.Run(affinity.ExperimentConfig{Quick: true, Seed: 1})
+	fmt.Println(tbl.ID, "rows:", len(tbl.Rows) > 0)
+	// Output:
+	// T1 rows: true
+}

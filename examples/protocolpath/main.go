@@ -1,0 +1,81 @@
+// Protocolpath drives the executable x-kernel-style UDP/IP/FDDI receive
+// path end to end: it builds real frames (including IP fragments and UDP
+// checksums), injects them through the in-memory driver — the paper's
+// own technique — and verifies in-order delivery, reassembly, and
+// corruption rejection.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"affinity/internal/driver"
+	"affinity/internal/xkernel/fddi"
+	"affinity/internal/xkernel/ip"
+	"affinity/internal/xkernel/udp"
+)
+
+func main() {
+	host := driver.NewStack(driver.Config{
+		MAC:            fddi.Addr{0x02, 0, 0, 0, 0, 0x01},
+		Addr:           ip.MustParse(10, 0, 0, 1),
+		VerifyChecksum: true,
+	})
+
+	var checker driver.SeqChecker
+	var bytesDelivered uint64
+	if _, err := host.UDP.Bind(2049, func(d udp.Datagram) {
+		bytesDelivered += uint64(len(d.Payload))
+		if err := checker.Check(d.Payload); err != nil {
+			log.Fatalf("sequence violation: %v", err)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	flow := driver.NewFlow(
+		driver.Endpoint{MAC: fddi.Addr{0x02, 0, 0, 0, 0, 0x02}, Addr: ip.MustParse(10, 0, 0, 2), Port: 1023},
+		driver.Endpoint{MAC: fddi.Addr{0x02, 0, 0, 0, 0, 0x01}, Addr: ip.MustParse(10, 0, 0, 1), Port: 2049},
+	)
+	flow.Checksum = true
+
+	// 1. A stream of small packets — the common case the paper's
+	// fast-path measurements model.
+	for i := 0; i < 1000; i++ {
+		if err := host.Deliver(flow.Build(64)); err != nil {
+			log.Fatalf("small packet %d: %v", i, err)
+		}
+	}
+
+	// 2. The largest unfragmented FDDI payload the paper quotes (4432
+	// bytes), then a 10 KB datagram that must fragment and reassemble.
+	if err := host.Deliver(flow.Build(4432)); err != nil {
+		log.Fatalf("max FDDI payload: %v", err)
+	}
+	frames := flow.BuildFragments(10 * 1024)
+	fmt.Printf("10 KB datagram fragments into %d FDDI frames\n", len(frames))
+	for _, f := range frames {
+		if err := host.Deliver(f); err != nil {
+			log.Fatalf("fragment: %v", err)
+		}
+	}
+
+	// 3. A corrupted frame must be caught by the UDP checksum.
+	bad := flow.Build(256)
+	bad[len(bad)-1] ^= 0xff
+	if err := host.Deliver(bad); err == nil {
+		log.Fatal("corrupt frame was accepted")
+	} else {
+		fmt.Printf("corrupt frame rejected: %v\n", err)
+	}
+
+	fmt.Printf("\ndelivered %d datagrams (%d payload bytes), %d out-of-sequence\n",
+		checker.Received, bytesDelivered, checker.OutOfSeq)
+	fmt.Printf("fddi: %+v\n", host.FDDI.Stats())
+	fmt.Printf("ip:   %+v\n", host.IP.Stats())
+	fmt.Printf("udp:  %+v\n", host.UDP.Stats())
+	if host.Errors != 1 {
+		log.Fatalf("expected exactly the one injected error, got %d", host.Errors)
+	}
+	fmt.Println("\nreceive path OK: demux, reassembly, checksum rejection all verified")
+}

@@ -1,0 +1,34 @@
+// Quickstart: the library's two-line story. Eight UDP streams arrive at
+// a loaded 8-processor host; scheduling each stream's packets on the
+// processor whose caches still hold its protocol state (MRU) beats
+// ignoring affinity (FCFS).
+package main
+
+import (
+	"fmt"
+
+	"affinity"
+)
+
+func main() {
+	base := affinity.Params{
+		Paradigm: affinity.Locking,
+		Streams:  8,
+		Arrival:  affinity.Poisson{PacketsPerSec: 2000},
+		Seed:     1,
+	}
+
+	base.Policy = affinity.FCFS
+	fcfs := affinity.Run(base)
+
+	base.Policy = affinity.MRU
+	mru := affinity.Run(base)
+
+	fmt.Println("8 streams x 2000 pkt/s on the 8-processor SGI Challenge model:")
+	fmt.Printf("  FCFS (no affinity): mean delay %6.1f µs, warm fraction %.2f\n",
+		fcfs.MeanDelay, fcfs.WarmFraction)
+	fmt.Printf("  MRU  (affinity):    mean delay %6.1f µs, warm fraction %.2f\n",
+		mru.MeanDelay, mru.WarmFraction)
+	fmt.Printf("  affinity reduces mean delay by %.1f%%\n",
+		100*(1-mru.MeanDelay/fcfs.MeanDelay))
+}

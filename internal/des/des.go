@@ -1,0 +1,188 @@
+// Package des provides a small deterministic discrete-event simulation
+// engine: a simulation clock, a time-ordered event list, and named
+// pseudo-random number streams.
+//
+// Time is measured in microseconds throughout, matching the natural scale
+// of the protocol-processing study (packet service times are a few hundred
+// microseconds). Events scheduled for the same instant fire in the order
+// they were scheduled, which keeps runs reproducible.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in microseconds.
+type Time float64
+
+// Common durations.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1e3
+	Second      Time = 1e6
+)
+
+// Seconds converts t to seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Millis converts t to milliseconds.
+func (t Time) Millis() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fµs", float64(t))
+	}
+}
+
+// Handler is the action run when an event fires.
+type Handler func()
+
+// event is a scheduled handler. seq breaks ties so that simultaneous
+// events fire in scheduling order.
+type event struct {
+	at      Time
+	seq     uint64
+	index   int // heap index, -1 once popped or cancelled
+	handler Handler
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancelled reports whether the event was cancelled or has already fired.
+func (r EventRef) Cancelled() bool { return r.ev == nil || r.ev.index < 0 }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator is a single-threaded discrete-event simulator.
+// The zero value is not usable; call NewSimulator.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewSimulator returns a simulator with the clock at zero.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule runs h after delay. A negative delay is an error in the caller;
+// it panics to surface the bug immediately.
+func (s *Simulator) Schedule(delay Time, h Handler) EventRef {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, h)
+}
+
+// ScheduleAt runs h at absolute time at, which must not precede the clock.
+func (s *Simulator) ScheduleAt(at Time, h Handler) EventRef {
+	if at < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", at, s.now))
+	}
+	if h == nil {
+		panic("des: nil handler")
+	}
+	ev := &event{at: at, seq: s.seq, handler: h}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return EventRef{ev: ev}
+}
+
+// Cancel removes a scheduled event. Cancelling an event that already fired
+// or was already cancelled is a no-op.
+func (s *Simulator) Cancel(r EventRef) {
+	if r.ev == nil || r.ev.index < 0 {
+		return
+	}
+	heap.Remove(&s.events, r.ev.index)
+	r.ev.index = -1
+	r.ev.handler = nil
+}
+
+// Stop makes Run return after the currently executing handler.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step fires the next event, advancing the clock, and reports whether an
+// event was available.
+func (s *Simulator) Step() bool {
+	if len(s.events) == 0 || s.stopped {
+		return false
+	}
+	ev := heap.Pop(&s.events).(*event)
+	s.now = ev.at
+	s.fired++
+	ev.handler()
+	return true
+}
+
+// RunUntil fires events until the event list is empty, Stop is called, or
+// the next event lies beyond the horizon. The clock is left at the horizon
+// if the simulation ran out the full interval, or at the last event time
+// otherwise.
+func (s *Simulator) RunUntil(horizon Time) {
+	s.stopped = false
+	for len(s.events) > 0 && !s.stopped {
+		if s.events[0].at > horizon {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run fires events until none remain or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for s.Step() {
+	}
+}

@@ -1,0 +1,258 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/xkernel/fddi"
+	"affinity/internal/xkernel/ip"
+	"affinity/internal/xkernel/udp"
+)
+
+var (
+	sender = Endpoint{
+		MAC:  fddi.Addr{0x02, 0, 0, 0, 0, 0x02},
+		Addr: ip.MustParse(10, 0, 0, 2),
+		Port: 1111,
+	}
+	receiver = Endpoint{
+		MAC:  fddi.Addr{0x02, 0, 0, 0, 0, 0x01},
+		Addr: ip.MustParse(10, 0, 0, 1),
+		Port: 2222,
+	}
+)
+
+func newHost(t *testing.T) (*Stack, *[]udp.Datagram) {
+	t.Helper()
+	s := NewStack(Config{MAC: receiver.MAC, Addr: receiver.Addr, VerifyChecksum: true})
+	var got []udp.Datagram
+	if _, err := s.UDP.Bind(receiver.Port, func(d udp.Datagram) {
+		d.Payload = append([]byte{}, d.Payload...)
+		got = append(got, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s, &got
+}
+
+func TestEndToEndDelivery(t *testing.T) {
+	s, got := newHost(t)
+	flow := NewFlow(sender, receiver)
+	flow.Checksum = true
+	if err := s.Deliver(flow.Build(100)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d datagrams", len(*got))
+	}
+	d := (*got)[0]
+	if len(d.Payload) != 100 {
+		t.Fatalf("payload length %d", len(d.Payload))
+	}
+	if d.SrcPort != sender.Port || d.DstPort != receiver.Port {
+		t.Fatalf("ports %d→%d", d.SrcPort, d.DstPort)
+	}
+	if s.Frames != 1 || s.Errors != 0 {
+		t.Fatalf("stack counters %d/%d", s.Frames, s.Errors)
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	s, got := newHost(t)
+	flow := NewFlow(sender, receiver)
+	for i := 0; i < 10; i++ {
+		if err := s.Deliver(flow.Build(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var chk SeqChecker
+	for _, d := range *got {
+		if err := chk.Check(d.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chk.Received != 10 || chk.OutOfSeq != 0 {
+		t.Fatalf("checker %+v", chk)
+	}
+}
+
+func TestSeqCheckerDetectsGap(t *testing.T) {
+	flow := NewFlow(sender, receiver)
+	f0 := flow.Build(SeqLen)
+	_ = flow.Build(SeqLen) // skipped frame
+	f2 := flow.Build(SeqLen)
+	extract := func(frame []byte) []byte {
+		return frame[fddi.HeaderLen+ip.HeaderLen+udp.HeaderLen:]
+	}
+	var chk SeqChecker
+	if err := chk.Check(extract(f0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := chk.Check(extract(f2)); err == nil {
+		t.Fatal("gap not detected")
+	}
+	if chk.OutOfSeq != 1 {
+		t.Fatalf("OutOfSeq = %d", chk.OutOfSeq)
+	}
+	if err := chk.Check([]byte("short")); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestLargePayloadFragmentsAndReassembles(t *testing.T) {
+	s, got := newHost(t)
+	flow := NewFlow(sender, receiver)
+	flow.Checksum = true
+	frames := flow.BuildFragments(10000) // >2 fragments at FDDI MTU
+	if len(frames) < 3 {
+		t.Fatalf("frames = %d, want ≥3", len(frames))
+	}
+	for _, f := range frames {
+		if err := s.Deliver(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(*got))
+	}
+	if n := len((*got)[0].Payload); n != 10000 {
+		t.Fatalf("payload = %d bytes", n)
+	}
+	if st := s.IP.Stats(); st.Reassembled != 1 {
+		t.Fatalf("ip stats %+v", st)
+	}
+}
+
+func TestMaxUnfragmentedPayloadIs4432(t *testing.T) {
+	// The paper: "the largest possible FDDI packets, each with 4432
+	// bytes of data."
+	flow := NewFlow(sender, receiver)
+	if frames := flow.BuildFragments(4432); len(frames) != 1 {
+		t.Fatalf("4432-byte payload built %d frames, want 1", len(frames))
+	}
+	if frames := flow.BuildFragments(4433); len(frames) != 2 {
+		t.Fatalf("4433-byte payload built %d frames, want 2", len(frames))
+	}
+}
+
+func TestWrongMACFiltered(t *testing.T) {
+	s, got := newHost(t)
+	other := receiver
+	other.MAC = fddi.Addr{0x02, 0, 0, 0, 0, 0x99}
+	flow := NewFlow(sender, other)
+	if err := s.Deliver(flow.Build(64)); err == nil {
+		t.Fatal("frame for another station accepted")
+	}
+	if len(*got) != 0 {
+		t.Fatal("misaddressed frame delivered")
+	}
+	if s.Errors != 1 {
+		t.Fatalf("Errors = %d", s.Errors)
+	}
+}
+
+func TestWrongIPFiltered(t *testing.T) {
+	s, got := newHost(t)
+	other := receiver
+	other.Addr = ip.MustParse(10, 9, 9, 9)
+	flow := NewFlow(sender, other)
+	if err := s.Deliver(flow.Build(64)); err == nil {
+		t.Fatal("datagram for another host accepted")
+	}
+	if len(*got) != 0 {
+		t.Fatal("misaddressed datagram delivered")
+	}
+}
+
+func TestCorruptFrameDetected(t *testing.T) {
+	s, got := newHost(t)
+	flow := NewFlow(sender, receiver)
+	flow.Checksum = true
+	frame := flow.Build(256)
+	frame[len(frame)-1] ^= 0xff
+	if err := s.Deliver(frame); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	if len(*got) != 0 {
+		t.Fatal("corrupt datagram delivered")
+	}
+}
+
+func TestTinyPayloadPanics(t *testing.T) {
+	flow := NewFlow(sender, receiver)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for sub-preamble payload")
+		}
+	}()
+	flow.Build(SeqLen - 1)
+}
+
+func TestBuildPanicsWhenFragmentationNeeded(t *testing.T) {
+	flow := NewFlow(sender, receiver)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized Build")
+		}
+	}()
+	flow.Build(20000)
+}
+
+func TestMultipleFlowsDemuxIndependently(t *testing.T) {
+	s := NewStack(Config{MAC: receiver.MAC, Addr: receiver.Addr, VerifyChecksum: true})
+	counts := map[uint16]int{}
+	for _, port := range []uint16{100, 200} {
+		port := port
+		if _, err := s.UDP.Bind(port, func(d udp.Datagram) { counts[port]++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	to := func(port uint16) *Flow {
+		dst := receiver
+		dst.Port = port
+		return NewFlow(sender, dst)
+	}
+	f100, f200 := to(100), to(200)
+	for i := 0; i < 3; i++ {
+		if err := s.Deliver(f100.Build(64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Deliver(f200.Build(64)); err != nil {
+		t.Fatal(err)
+	}
+	if counts[100] != 3 || counts[200] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// Property: any payload size and checksum setting round-trips through the
+// full stack, fragmented or not, preserving the application bytes.
+func TestPropertyFullStackRoundTrip(t *testing.T) {
+	prop := func(sizeRaw uint16, checksum bool) bool {
+		size := SeqLen + int(sizeRaw)%12000
+		s := NewStack(Config{MAC: receiver.MAC, Addr: receiver.Addr, VerifyChecksum: true})
+		var payload []byte
+		if _, err := s.UDP.Bind(receiver.Port, func(d udp.Datagram) {
+			payload = append([]byte{}, d.Payload...)
+		}); err != nil {
+			return false
+		}
+		flow := NewFlow(sender, receiver)
+		flow.Checksum = checksum
+		for _, f := range flow.BuildFragments(size) {
+			if err := s.Deliver(f); err != nil {
+				return false
+			}
+		}
+		if len(payload) != size {
+			return false
+		}
+		// Sequence preamble is 0 for the first datagram; the rest zeros.
+		return bytes.Equal(payload[SeqLen:], make([]byte, size-SeqLen))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

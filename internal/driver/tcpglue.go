@@ -1,0 +1,128 @@
+package driver
+
+import (
+	"affinity/internal/xkernel"
+	"affinity/internal/xkernel/fddi"
+	"affinity/internal/xkernel/ip"
+	"affinity/internal/xkernel/tcp"
+)
+
+// EnableTCP attaches a TCP endpoint to the stack. Outbound segments the
+// TCP generates on the receive path (SYN-ACKs, ACKs) are appended to
+// Stack.TCPOut as complete frames addressed to peerMAC — an in-memory
+// stand-in for the transmit side, mirroring the paper's in-memory driver
+// technique.
+func (s *Stack) EnableTCP(localAddr ip.Addr, localMAC, peerMAC fddi.Addr) *tcp.Protocol {
+	t := tcp.New(localAddr, func(seg tcp.Segment) {
+		m := xkernel.NewMessage(fddi.HeaderLen+ip.HeaderLen+tcp.HeaderLen, seg.Payload)
+		seg.Hdr.Encode(m, localAddr, seg.Dst)
+		ih := ip.Header{
+			TTL:   64,
+			Proto: ip.ProtoTCP,
+			Src:   localAddr,
+			Dst:   seg.Dst,
+		}
+		ih.Encode(m)
+		fh := fddi.Header{Dst: peerMAC, Src: localMAC, EtherType: fddi.EtherTypeIPv4}
+		fh.Encode(m)
+		s.TCPOut = append(s.TCPOut, m.Bytes())
+	})
+	s.TCP = t
+	s.IP.RegisterUpper(ip.ProtoTCP, t)
+	return t
+}
+
+// TCPFlow builds the client side of a TCP conversation toward a Stack —
+// handshake and in-order data segments as complete FDDI frames.
+type TCPFlow struct {
+	Src, Dst Endpoint
+
+	seq uint32
+	ack uint32
+	id  uint16
+}
+
+// NewTCPFlow returns a client flow starting at the given initial
+// sequence number.
+func NewTCPFlow(src, dst Endpoint, iss uint32) *TCPFlow {
+	return &TCPFlow{Src: src, Dst: dst, seq: iss}
+}
+
+// frame wraps one TCP segment in IP and FDDI headers.
+func (f *TCPFlow) frame(hdr tcp.Header, payload []byte) []byte {
+	m := xkernel.NewMessage(fddi.HeaderLen+ip.HeaderLen+tcp.HeaderLen, payload)
+	hdr.SrcPort, hdr.DstPort = f.Src.Port, f.Dst.Port
+	hdr.Encode(m, f.Src.Addr, f.Dst.Addr)
+	ih := ip.Header{
+		ID:    f.id,
+		TTL:   64,
+		Proto: ip.ProtoTCP,
+		Src:   f.Src.Addr,
+		Dst:   f.Dst.Addr,
+	}
+	f.id++
+	ih.Encode(m)
+	fh := fddi.Header{Dst: f.Dst.MAC, Src: f.Src.MAC, EtherType: fddi.EtherTypeIPv4}
+	fh.Encode(m)
+	return m.Bytes()
+}
+
+// Syn builds the opening SYN.
+func (f *TCPFlow) Syn() []byte {
+	frame := f.frame(tcp.Header{Seq: f.seq, Flags: tcp.FlagSYN, Window: 65535}, nil)
+	f.seq++
+	return frame
+}
+
+// AckSynAck consumes the server's SYN-ACK header (decode a Stack.TCPOut
+// frame with DecodeTCPFrame) and builds the handshake-completing ACK.
+func (f *TCPFlow) AckSynAck(synAck tcp.Header) []byte {
+	f.ack = synAck.Seq + 1
+	return f.frame(tcp.Header{Seq: f.seq, Ack: f.ack, Flags: tcp.FlagACK, Window: 65535}, nil)
+}
+
+// DecodeTCPFrame strips the FDDI and IP headers off a frame and decodes
+// the TCP header, returning it with the segment payload.
+func DecodeTCPFrame(frame []byte) (tcp.Header, []byte, error) {
+	m := xkernel.FromBytes(frame)
+	if _, err := m.Pop(fddi.HeaderLen); err != nil {
+		return tcp.Header{}, nil, err
+	}
+	ih, err := ip.DecodeHeader(m.Bytes())
+	if err != nil {
+		return tcp.Header{}, nil, err
+	}
+	m.Truncate(int(ih.TotalLen))
+	if _, err := m.Pop(ih.HeaderBytes()); err != nil {
+		return tcp.Header{}, nil, err
+	}
+	th, err := tcp.DecodeHeader(m.Bytes())
+	if err != nil {
+		return tcp.Header{}, nil, err
+	}
+	if _, err := m.Pop(th.DataOff); err != nil {
+		return tcp.Header{}, nil, err
+	}
+	return th, m.Bytes(), nil
+}
+
+// Data builds the next in-order data segment.
+func (f *TCPFlow) Data(payload []byte) []byte {
+	frame := f.frame(tcp.Header{
+		Seq: f.seq, Ack: f.ack, Flags: tcp.FlagACK | tcp.FlagPSH, Window: 65535,
+	}, payload)
+	f.seq += uint32(len(payload))
+	return frame
+}
+
+// Fin builds the closing FIN.
+func (f *TCPFlow) Fin() []byte {
+	frame := f.frame(tcp.Header{
+		Seq: f.seq, Ack: f.ack, Flags: tcp.FlagACK | tcp.FlagFIN, Window: 65535,
+	}, nil)
+	f.seq++
+	return frame
+}
+
+// Seq returns the client's next sequence number.
+func (f *TCPFlow) Seq() uint32 { return f.seq }

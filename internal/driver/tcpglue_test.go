@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"affinity/internal/xkernel/tcp"
+)
+
+// newTCPHost returns a stack with TCP listening on port 80 and the
+// delivered byte stream.
+func newTCPHost(t *testing.T) (*Stack, *bytes.Buffer) {
+	t.Helper()
+	s := NewStack(Config{MAC: receiver.MAC, Addr: receiver.Addr, VerifyChecksum: true})
+	tp := s.EnableTCP(receiver.Addr, receiver.MAC, sender.MAC)
+	var data bytes.Buffer
+	if err := tp.Listen(80, func(_ *tcp.Conn, d []byte) { data.Write(d) }); err != nil {
+		t.Fatal(err)
+	}
+	return s, &data
+}
+
+// open performs the three-way handshake through the full stack.
+func open(t *testing.T, s *Stack) *TCPFlow {
+	t.Helper()
+	dst := receiver
+	dst.Port = 80
+	src := sender
+	src.Port = 4000
+	flow := NewTCPFlow(src, dst, 7000)
+	if err := s.Deliver(flow.Syn()); err != nil {
+		t.Fatalf("SYN: %v", err)
+	}
+	if len(s.TCPOut) != 1 {
+		t.Fatalf("expected SYN-ACK frame, got %d", len(s.TCPOut))
+	}
+	synAck, _, err := DecodeTCPFrame(s.TCPOut[0])
+	if err != nil {
+		t.Fatalf("decode SYN-ACK: %v", err)
+	}
+	if synAck.Flags != tcp.FlagSYN|tcp.FlagACK || synAck.Ack != 7001 {
+		t.Fatalf("SYN-ACK %+v", synAck)
+	}
+	if err := s.Deliver(flow.AckSynAck(synAck)); err != nil {
+		t.Fatalf("ACK: %v", err)
+	}
+	return flow
+}
+
+func TestTCPEndToEndThroughFullStack(t *testing.T) {
+	s, data := newTCPHost(t)
+	flow := open(t, s)
+	for i := 0; i < 3; i++ {
+		if err := s.Deliver(flow.Data([]byte("chunk!"))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := data.String(); got != "chunk!chunk!chunk!" {
+		t.Fatalf("delivered %q", got)
+	}
+	st := s.TCP.Stats()
+	if st.Handshakes != 1 || st.FastPath != 3 {
+		t.Fatalf("tcp stats %+v", st)
+	}
+	// Each data segment was ACKed through the in-memory transmit side.
+	last, _, err := DecodeTCPFrame(s.TCPOut[len(s.TCPOut)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Ack != flow.Seq() {
+		t.Fatalf("final ACK %d, want %d", last.Ack, flow.Seq())
+	}
+}
+
+func TestTCPFinThroughFullStack(t *testing.T) {
+	s, _ := newTCPHost(t)
+	flow := open(t, s)
+	if err := s.Deliver(flow.Fin()); err != nil {
+		t.Fatal(err)
+	}
+	conn, ok := s.TCP.Conn(sender.Addr, 4000, 80)
+	if !ok || conn.State() != tcp.CloseWait {
+		t.Fatalf("state after FIN: %v", conn.State())
+	}
+}
+
+func TestTCPCorruptSegmentRejectedByStack(t *testing.T) {
+	s, data := newTCPHost(t)
+	flow := open(t, s)
+	frame := flow.Data([]byte("good data"))
+	frame[len(frame)-2] ^= 0xff
+	if err := s.Deliver(frame); err == nil {
+		t.Fatal("corrupt TCP segment accepted")
+	}
+	if data.Len() != 0 {
+		t.Fatal("corrupt payload delivered")
+	}
+}
+
+func TestTCPRepliesAreWellFormedFrames(t *testing.T) {
+	// The emitted SYN-ACK frame must itself survive a receive path: the
+	// client-side stack accepts it.
+	s, _ := newTCPHost(t)
+	open(t, s)
+	client := NewStack(Config{MAC: sender.MAC, Addr: sender.Addr, VerifyChecksum: true})
+	clientTCP := client.EnableTCP(sender.Addr, sender.MAC, receiver.MAC)
+	_ = clientTCP
+	// The SYN-ACK is addressed to a connection the client stack does not
+	// track, so TCP rejects it — but the frame must parse cleanly through
+	// FDDI and IP (no Malformed/BadChecksum counts).
+	_ = client.Deliver(s.TCPOut[0])
+	if f := client.FDDI.Stats(); f.Malformed != 0 {
+		t.Fatalf("fddi stats %+v", f)
+	}
+	if i := client.IP.Stats(); i.BadChecksum != 0 || i.BadHeader != 0 {
+		t.Fatalf("ip stats %+v", i)
+	}
+	if ts := clientTCP.Stats(); ts.BadChecksum != 0 || ts.BadHeader != 0 {
+		t.Fatalf("tcp stats %+v", ts)
+	}
+}
+
+func TestDecodeTCPFrameErrors(t *testing.T) {
+	if _, _, err := DecodeTCPFrame(make([]byte, 10)); err == nil {
+		t.Fatal("short frame decoded")
+	}
+}

@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func sweepTable() *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "demo sweep",
+		Columns: []string{"rate", "FCFS", "MRU"},
+	}
+	t.AddRow(100.0, "250.0", "230.0")
+	t.AddRow(200.0, "260.0", "235.0")
+	t.AddRow(400.0, "50000*", "400.0") // saturated cell still plots
+	t.AddRow(800.0, "—", "500.0")      // unparsable cell skipped
+	return t
+}
+
+func TestChartFromTable(t *testing.T) {
+	c := ChartFromTable(sweepTable(), 0, 1, 2)
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(c.Series))
+	}
+	if len(c.Series[0].X) != 3 { // the dash row is skipped
+		t.Fatalf("FCFS points = %d, want 3", len(c.Series[0].X))
+	}
+	if len(c.Series[1].X) != 4 {
+		t.Fatalf("MRU points = %d, want 4", len(c.Series[1].X))
+	}
+	if c.Series[0].Y[2] != 50000 {
+		t.Fatalf("saturated cell parsed as %v", c.Series[0].Y[2])
+	}
+}
+
+func TestChartRenderContainsStructure(t *testing.T) {
+	c := ChartFromTable(sweepTable(), 0, 1, 2)
+	c.YLabel = "delay"
+	c.LogY = true
+	out := c.Render(60, 12)
+	for _, want := range []string{"E5", "legend:", "FCFS", "MRU", "rate", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Axis bounds must appear (x from 100 to 800).
+	if !strings.Contains(out, "100") || !strings.Contains(out, "800") {
+		t.Fatalf("x-axis bounds missing:\n%s", out)
+	}
+}
+
+func TestChartRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.Render(40, 8); !strings.Contains(out, "no plottable points") {
+		t.Fatalf("empty chart rendering: %q", out)
+	}
+}
+
+func TestChartLogYSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		Title: "log",
+		LogY:  true,
+		Series: []Series{{
+			Name: "s", X: []float64{1, 2, 3}, Y: []float64{0, 10, 100},
+		}},
+	}
+	out := c.Render(40, 8)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("log chart produced non-finite labels:\n%s", out)
+	}
+}
+
+func TestChartDegenerateSinglePoint(t *testing.T) {
+	c := &Chart{
+		Title:  "point",
+		Series: []Series{{Name: "s", X: []float64{5}, Y: []float64{7}}},
+	}
+	out := c.Render(40, 8)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestDefaultChartCoverage(t *testing.T) {
+	// Every ID in chartSpecs must reference columns that exist in the
+	// experiment's real (quick) output — guards against column drift.
+	cfg := Config{Quick: true, Seed: 5}
+	for id, spec := range chartSpecs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("chart spec for unknown experiment %s", id)
+		}
+		tbl := e.Run(cfg)
+		maxCol := spec.x
+		for _, y := range spec.ys {
+			if y > maxCol {
+				maxCol = y
+			}
+		}
+		if maxCol >= len(tbl.Columns) {
+			t.Fatalf("%s chart spec references column %d of %d", id, maxCol, len(tbl.Columns))
+		}
+		c := DefaultChart(tbl)
+		if c == nil || len(c.Series) == 0 {
+			t.Fatalf("%s produced no chart series", id)
+		}
+	}
+	if DefaultChart(&Table{ID: "T1"}) != nil {
+		t.Fatal("non-sweep table produced a chart")
+	}
+}

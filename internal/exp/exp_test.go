@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryIntegrity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+		got, ok := ByID(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Fatalf("ByID(%s) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown ID resolved")
+	}
+	if e, ok := ByID("e8"); !ok || e.ID != "E8" {
+		t.Fatal("lookup not case-insensitive")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", 3.0)
+	tbl.Note("hello %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"X — demo", "a", "b", "2.5", "note: hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	// Floats are trimmed: 3.0 renders as "3".
+	if strings.Contains(out, "3.0") {
+		t.Fatalf("float not trimmed:\n%s", out)
+	}
+	var csv strings.Builder
+	if err := tbl.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "a,b\n1,2.5\n") {
+		t.Fatalf("csv = %q", csv.String())
+	}
+}
+
+// Every experiment must produce a structurally sound table in quick mode.
+func TestAllExperimentsQuickMode(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 7}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			tbl := e.Run(cfg)
+			if tbl.ID != e.ID {
+				t.Fatalf("table ID %q != experiment ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Columns) == 0 || len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("ragged row %v (columns %v)", row, tbl.Columns)
+				}
+				for i, cell := range row {
+					if cell == "" {
+						t.Fatalf("empty cell %d in row %v", i, row)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestConfigPackets(t *testing.T) {
+	if (Config{Quick: true}).packets() >= (Config{}).packets() {
+		t.Fatal("quick mode must use fewer packets")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b|c"}}
+	tbl.AddRow("v|1", 2)
+	tbl.Note("a note")
+	md := tbl.Markdown()
+	for _, want := range []string{"### X — demo", "| a | b\\|c |", "| v\\|1 | 2 |", "> a note"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}

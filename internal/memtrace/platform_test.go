@@ -1,0 +1,6 @@
+package memtrace
+
+import "affinity/internal/core"
+
+// platform returns the default study platform for tests.
+func platform() core.Platform { return core.SGIChallengeXL() }

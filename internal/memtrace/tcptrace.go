@@ -1,0 +1,22 @@
+package memtrace
+
+// NewTCPTrace returns the per-packet reference stream of a TCP/IP/FDDI
+// receive fast path. Kay & Pasquale [10] report that TCP's per-packet
+// processing breakdown closely matches UDP's, with TCP-specific work
+// (sequence processing, ACK generation, congestion bookkeeping) adding
+// roughly 15 % at its most influential; the trace below grows the text
+// walked per packet and the per-connection state (TCB, reassembly
+// bookkeeping) accordingly, yielding a cold time ≈ 15 % above the UDP
+// receive path through the same calibration pipeline.
+func NewTCPTrace(streamID int) *ProtocolTrace {
+	return &ProtocolTrace{
+		// TCP's text follows UDP's in the protocol segment; TCBs are
+		// larger than UDP PCBs.
+		codeBase:   0x0050_0000,
+		dataBase:   0x2000_2000 + uint64(streamID)*0x1_0000,
+		CodeBytes:  7 << 10,
+		DataBytes:  4096,
+		LoopPasses: 2,
+		DataStride: 16,
+	}
+}

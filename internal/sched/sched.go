@@ -1,0 +1,314 @@
+// Package sched implements the affinity-based scheduling policies the
+// paper proposes and evaluates.
+//
+// Under the Locking paradigm any processor may process any packet, so
+// the schedulable unit is a packet and the policies differ in which
+// processor a packet is placed on and which packet an idle processor
+// picks up:
+//
+//	FCFS         — central queue, no affinity (the baseline).
+//	MRU          — prefer the processor the packet's stream most
+//	               recently used, both at arrival and at dispatch.
+//	ThreadPools  — per-processor thread pools: packets join their
+//	               stream's home pool; idle processors steal from the
+//	               longest pool when their own is empty.
+//	WiredStreams — streams statically bound to processors; no stealing.
+//
+// Under IPS the schedulable unit is a protocol stack (streams are
+// partitioned across stacks, and a stack processes its packets
+// serially):
+//
+//	IPSWired — each stack is bound to one processor.
+//	IPSMRU   — a ready stack prefers its most-recently-used processor
+//	           but may run anywhere idle.
+package sched
+
+import (
+	"fmt"
+
+	"affinity/internal/des"
+)
+
+// Packet is the scheduling view of a packet: its stream, its footprint
+// entity (stream under Locking, stack under IPS) and its arrival time.
+type Packet struct {
+	Stream int
+	Entity int
+	Arrive des.Time
+}
+
+// Kind names a scheduling policy.
+type Kind int
+
+// Locking-paradigm policies, then IPS-paradigm policies.
+const (
+	FCFS Kind = iota
+	MRU
+	ThreadPools
+	WiredStreams
+	IPSWired
+	IPSMRU
+	IPSRandom
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FCFS:
+		return "FCFS"
+	case MRU:
+		return "MRU"
+	case ThreadPools:
+		return "ThreadPools"
+	case WiredStreams:
+		return "WiredStreams"
+	case IPSWired:
+		return "IPS-Wired"
+	case IPSMRU:
+		return "IPS-MRU"
+	case IPSRandom:
+		return "IPS-Random"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ForLocking reports whether the policy applies to the Locking paradigm.
+func (k Kind) ForLocking() bool { return k <= WiredStreams }
+
+// ForIPS reports whether the policy applies to the IPS paradigm.
+func (k Kind) ForIPS() bool {
+	return k == IPSWired || k == IPSMRU || k == IPSRandom
+}
+
+// PacketDispatcher is the Locking-paradigm scheduling interface.
+type PacketDispatcher interface {
+	Name() string
+	// PickProcessor chooses an idle processor for an arriving packet,
+	// or -1 to enqueue it instead. idle is the set of processors
+	// currently free of protocol work (never empty when called).
+	PickProcessor(p Packet, idle []int) int
+	// Enqueue records a packet that could not be placed.
+	Enqueue(p Packet)
+	// Dispatch returns the next packet for a processor that just became
+	// idle, or ok=false if it should stay idle.
+	Dispatch(proc int) (Packet, bool)
+	// RanOn informs the dispatcher that a packet of the given entity
+	// completed on proc (updates MRU/affinity state).
+	RanOn(entity, proc int)
+	// Queued returns the number of packets waiting.
+	Queued() int
+}
+
+// NewPacketDispatcher builds the Locking dispatcher for kind k on n
+// processors. Policies that place a no-affinity packet on "any idle
+// processor" pick uniformly at random among the idle set, so that the
+// FCFS baseline does not accidentally accrue affinity by always reusing
+// the lowest-numbered processor.
+func NewPacketDispatcher(k Kind, n int, rng *des.RNG) PacketDispatcher {
+	return NewPacketDispatcherLookahead(k, n, rng, 1)
+}
+
+// NewPacketDispatcherLookahead is NewPacketDispatcher with an explicit
+// dispatch lookahead for the MRU policy: a processor picking new work
+// examines only the first lookahead waiting packets for one with
+// affinity before falling back to the FIFO head. Real dispatchers scan a
+// bounded prefix (the scan happens under the queue lock); unbounded
+// lookahead would let MRU degenerate into Wired-Streams-with-stealing at
+// saturation and mask the policy crossover the paper reports.
+func NewPacketDispatcherLookahead(k Kind, n int, rng *des.RNG, lookahead int) PacketDispatcher {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	switch k {
+	case FCFS:
+		return &fcfs{rng: rng}
+	case MRU:
+		return &mru{mru: map[int]int{}, rng: rng, lookahead: lookahead}
+	case ThreadPools:
+		return newPools(n, true, rng)
+	case WiredStreams:
+		return newPools(n, false, rng)
+	default:
+		panic(fmt.Sprintf("sched: %v is not a Locking policy", k))
+	}
+}
+
+// fcfs: one central FIFO, no affinity.
+type fcfs struct {
+	q   fifo
+	rng *des.RNG
+}
+
+func (*fcfs) Name() string { return FCFS.String() }
+func (f *fcfs) PickProcessor(_ Packet, idle []int) int {
+	return idle[f.rng.Intn(len(idle))]
+}
+func (f *fcfs) Enqueue(p Packet)            { f.q.push(p) }
+func (f *fcfs) Dispatch(int) (Packet, bool) { return f.q.pop() }
+func (*fcfs) RanOn(int, int)                {}
+func (f *fcfs) Queued() int                 { return f.q.len() }
+
+// mru: central FIFO with affinity preference at both decision points.
+type mru struct {
+	q         fifo
+	mru       map[int]int // entity → processor it last ran on
+	rng       *des.RNG
+	lookahead int
+}
+
+func (*mru) Name() string { return MRU.String() }
+
+func (m *mru) PickProcessor(p Packet, idle []int) int {
+	if proc, ok := m.mru[p.Entity]; ok {
+		for _, i := range idle {
+			if i == proc {
+				return proc
+			}
+		}
+	}
+	// No affinity or its processor is busy: take any idle one rather
+	// than wait (work conservation, as in the paper's MRU policy).
+	return idle[m.rng.Intn(len(idle))]
+}
+
+func (m *mru) Enqueue(p Packet) { m.q.push(p) }
+
+func (m *mru) Dispatch(proc int) (Packet, bool) {
+	// Prefer the oldest packet (within the bounded lookahead) whose
+	// stream has affinity for this processor; fall back to the head.
+	if i := m.q.indexWhereN(m.lookahead, func(p Packet) bool {
+		h, ok := m.mru[p.Entity]
+		return ok && h == proc
+	}); i >= 0 {
+		return m.q.removeAt(i), true
+	}
+	return m.q.pop()
+}
+
+func (m *mru) RanOn(entity, proc int) { m.mru[entity] = proc }
+func (m *mru) Queued() int            { return m.q.len() }
+
+// pools: per-processor queues with a per-stream home. With stealing it
+// is the ThreadPools policy, without it Wired-Streams.
+type pools struct {
+	queues   []fifo
+	home     map[int]int
+	stealing bool
+	nextHome int // round-robin assignment of new entities
+	rng      *des.RNG
+}
+
+func newPools(n int, stealing bool, rng *des.RNG) *pools {
+	return &pools{queues: make([]fifo, n), home: map[int]int{}, stealing: stealing, rng: rng}
+}
+
+func (p *pools) Name() string {
+	if p.stealing {
+		return ThreadPools.String()
+	}
+	return WiredStreams.String()
+}
+
+func (p *pools) homeOf(entity int) int {
+	h, ok := p.home[entity]
+	if !ok {
+		h = p.nextHome % len(p.queues)
+		p.nextHome++
+		p.home[entity] = h
+	}
+	return h
+}
+
+func (p *pools) PickProcessor(pk Packet, idle []int) int {
+	h := p.homeOf(pk.Entity)
+	for _, i := range idle {
+		if i == h {
+			return h
+		}
+	}
+	if p.stealing {
+		// ThreadPools: an idle processor's pool thread will take the
+		// packet rather than let it wait behind a busy home.
+		return idle[p.rng.Intn(len(idle))]
+	}
+	return -1 // Wired-Streams: wait for the home processor
+}
+
+func (p *pools) Enqueue(pk Packet) { p.queues[p.homeOf(pk.Entity)].push(pk) }
+
+func (p *pools) Dispatch(proc int) (Packet, bool) {
+	if pk, ok := p.queues[proc].pop(); ok {
+		return pk, true
+	}
+	if !p.stealing {
+		return Packet{}, false
+	}
+	// Steal the oldest packet from the longest pool.
+	longest, max := -1, 0
+	for i := range p.queues {
+		if l := p.queues[i].len(); l > max {
+			longest, max = i, l
+		}
+	}
+	if longest < 0 {
+		return Packet{}, false
+	}
+	return p.queues[longest].pop()
+}
+
+func (p *pools) RanOn(entity, proc int) {
+	if p.stealing {
+		// Stealing migrates the stream's home with it, keeping
+		// subsequent packets near the warmed state.
+		p.home[entity] = proc
+	}
+}
+
+func (p *pools) Queued() int {
+	n := 0
+	for i := range p.queues {
+		n += p.queues[i].len()
+	}
+	return n
+}
+
+// fifo is a slice-backed FIFO of packets.
+type fifo struct {
+	items []Packet
+}
+
+func (f *fifo) push(p Packet) { f.items = append(f.items, p) }
+
+func (f *fifo) pop() (Packet, bool) {
+	if len(f.items) == 0 {
+		return Packet{}, false
+	}
+	p := f.items[0]
+	f.items = f.items[1:]
+	return p, true
+}
+
+func (f *fifo) len() int { return len(f.items) }
+
+func (f *fifo) indexWhereN(n int, pred func(Packet) bool) int {
+	for i, p := range f.items {
+		if i >= n {
+			break
+		}
+		if pred(p) {
+			return i
+		}
+	}
+	return -1
+}
+
+// removeAt removes and returns the i-th packet. The index always lies
+// within the dispatch lookahead window, so shifting the short prefix
+// right keeps this O(lookahead) even when the queue is very long
+// (an overloaded run can hold hundreds of thousands of packets).
+func (f *fifo) removeAt(i int) Packet {
+	p := f.items[i]
+	copy(f.items[1:i+1], f.items[:i])
+	f.items = f.items[1:]
+	return p
+}

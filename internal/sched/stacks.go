@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"fmt"
+
+	"affinity/internal/des"
+)
+
+// StackDispatcher is the IPS-paradigm scheduling interface. The
+// schedulable unit is a ready stack (one with queued packets that is not
+// currently running).
+type StackDispatcher interface {
+	Name() string
+	// PickProcessor chooses an idle processor for a stack that just
+	// became ready, or -1 to queue the stack instead.
+	PickProcessor(stack int, idle []int) int
+	// EnqueueStack records a ready stack that could not be placed.
+	EnqueueStack(stack int)
+	// DispatchStack returns the next stack for a processor that just
+	// became idle, or -1 if it should stay idle.
+	DispatchStack(proc int) int
+	// RanOn informs the dispatcher that a stack ran on proc.
+	RanOn(stack, proc int)
+	// QueuedStacks returns the number of ready stacks waiting.
+	QueuedStacks() int
+}
+
+// NewStackDispatcher builds the IPS dispatcher for kind k with the given
+// number of stacks and processors. The MRU policy's no-affinity fallback
+// picks uniformly among idle processors (see NewPacketDispatcher).
+func NewStackDispatcher(k Kind, stacks, procs int, rng *des.RNG) StackDispatcher {
+	return NewStackDispatcherLookahead(k, stacks, procs, rng, 1)
+}
+
+// NewStackDispatcherLookahead is NewStackDispatcher with an explicit
+// dispatch lookahead for the MRU policy (see
+// NewPacketDispatcherLookahead for why the scan is bounded).
+func NewStackDispatcherLookahead(k Kind, stacks, procs int, rng *des.RNG, lookahead int) StackDispatcher {
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	switch k {
+	case IPSWired:
+		return newWiredStacks(stacks, procs)
+	case IPSMRU:
+		return &mruStacks{mru: map[int]int{}, rng: rng, lookahead: lookahead}
+	case IPSRandom:
+		return &randomStacks{rng: rng}
+	default:
+		panic(fmt.Sprintf("sched: %v is not an IPS policy", k))
+	}
+}
+
+// wiredStacks: stack k is bound to processor k mod procs; each processor
+// has a FIFO runqueue of its ready stacks.
+type wiredStacks struct {
+	wire []int
+	runq [][]int
+}
+
+func newWiredStacks(stacks, procs int) *wiredStacks {
+	w := &wiredStacks{wire: make([]int, stacks), runq: make([][]int, procs)}
+	for s := range w.wire {
+		w.wire[s] = s % procs
+	}
+	return w
+}
+
+func (*wiredStacks) Name() string { return IPSWired.String() }
+
+// Wire returns the processor stack s is bound to.
+func (w *wiredStacks) Wire(s int) int { return w.wire[s] }
+
+func (w *wiredStacks) PickProcessor(stack int, idle []int) int {
+	home := w.wire[stack]
+	for _, i := range idle {
+		if i == home {
+			return home
+		}
+	}
+	return -1 // wired: wait for the home processor
+}
+
+func (w *wiredStacks) EnqueueStack(stack int) {
+	home := w.wire[stack]
+	w.runq[home] = append(w.runq[home], stack)
+}
+
+func (w *wiredStacks) DispatchStack(proc int) int {
+	if len(w.runq[proc]) == 0 {
+		return -1
+	}
+	s := w.runq[proc][0]
+	w.runq[proc] = w.runq[proc][1:]
+	return s
+}
+
+func (*wiredStacks) RanOn(int, int) {}
+
+func (w *wiredStacks) QueuedStacks() int {
+	n := 0
+	for _, q := range w.runq {
+		n += len(q)
+	}
+	return n
+}
+
+// mruStacks: a central FIFO of ready stacks; placement prefers a stack's
+// most-recently-used processor, and an idle processor prefers a stack
+// with affinity for it.
+type mruStacks struct {
+	ready     []int
+	mru       map[int]int
+	rng       *des.RNG
+	lookahead int
+}
+
+func (*mruStacks) Name() string { return IPSMRU.String() }
+
+func (m *mruStacks) PickProcessor(stack int, idle []int) int {
+	if proc, ok := m.mru[stack]; ok {
+		for _, i := range idle {
+			if i == proc {
+				return proc
+			}
+		}
+	}
+	return idle[m.rng.Intn(len(idle))]
+}
+
+func (m *mruStacks) EnqueueStack(stack int) { m.ready = append(m.ready, stack) }
+
+func (m *mruStacks) DispatchStack(proc int) int {
+	if len(m.ready) == 0 {
+		return -1
+	}
+	pick := 0
+	for i, s := range m.ready {
+		if i >= m.lookahead {
+			break
+		}
+		if h, ok := m.mru[s]; ok && h == proc {
+			pick = i
+			break
+		}
+	}
+	s := m.ready[pick]
+	m.ready = append(m.ready[:pick], m.ready[pick+1:]...)
+	return s
+}
+
+func (m *mruStacks) RanOn(stack, proc int) { m.mru[stack] = proc }
+
+func (m *mruStacks) QueuedStacks() int { return len(m.ready) }
+
+// randomStacks is the no-affinity IPS baseline: a ready stack is placed
+// on a uniformly random idle processor and dispatched FIFO, with no
+// memory of where it ran before. The affinity policies are measured
+// against it in the reduction experiments.
+type randomStacks struct {
+	ready []int
+	rng   *des.RNG
+}
+
+func (*randomStacks) Name() string { return IPSRandom.String() }
+
+func (r *randomStacks) PickProcessor(_ int, idle []int) int {
+	return idle[r.rng.Intn(len(idle))]
+}
+
+func (r *randomStacks) EnqueueStack(stack int) { r.ready = append(r.ready, stack) }
+
+func (r *randomStacks) DispatchStack(int) int {
+	if len(r.ready) == 0 {
+		return -1
+	}
+	s := r.ready[0]
+	r.ready = r.ready[1:]
+	return s
+}
+
+func (*randomStacks) RanOn(int, int) {}
+
+func (r *randomStacks) QueuedStacks() int { return len(r.ready) }

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"affinity/internal/sched"
+	"affinity/internal/traffic"
+)
+
+func hybridParams(arrival traffic.Spec) Params {
+	return Params{
+		Paradigm: Hybrid, Policy: sched.IPSWired,
+		Streams: 8, Arrival: arrival, Seed: 5, MeasuredPackets: 4000,
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	p := hybridParams(traffic.Batch{PacketsPerSec: 1000, MeanBurst: 8})
+	if !reflect.DeepEqual(Run(p), Run(p)) {
+		t.Fatal("hybrid run not deterministic")
+	}
+}
+
+func TestHybridMatchesIPSOnSmoothTraffic(t *testing.T) {
+	// With Poisson arrivals the overflow path rarely triggers: hybrid
+	// delay should sit within a few percent of pure IPS.
+	arrival := traffic.Poisson{PacketsPerSec: 1000}
+	hyb := Run(hybridParams(arrival))
+	ips := Run(Params{
+		Paradigm: IPS, Policy: sched.IPSWired,
+		Streams: 8, Arrival: arrival, Seed: 5, MeasuredPackets: 4000,
+	})
+	if hyb.MeanDelay > ips.MeanDelay*1.1 {
+		t.Fatalf("hybrid smooth-traffic delay %v far above IPS %v", hyb.MeanDelay, ips.MeanDelay)
+	}
+}
+
+func TestHybridAbsorbsBursts(t *testing.T) {
+	// The companion TR's claim: the hybrid keeps IPS's latency while
+	// gaining Locking-like robustness to intra-stream bursts. At a mean
+	// burst of 16 the pure-IPS delay must be a multiple of the hybrid's.
+	arrival := traffic.Batch{PacketsPerSec: 1000, MeanBurst: 16}
+	hyb := Run(hybridParams(arrival))
+	ips := Run(Params{
+		Paradigm: IPS, Policy: sched.IPSWired,
+		Streams: 8, Arrival: arrival, Seed: 5, MeasuredPackets: 4000,
+	})
+	lock := Run(Params{
+		Paradigm: Locking, Policy: sched.MRU,
+		Streams: 8, Arrival: arrival, Seed: 5, MeasuredPackets: 4000,
+	})
+	if ips.MeanDelay < 2*hyb.MeanDelay {
+		t.Fatalf("IPS burst delay %v not ≫ hybrid %v", ips.MeanDelay, hyb.MeanDelay)
+	}
+	if hyb.MeanDelay > lock.MeanDelay*1.25 {
+		t.Fatalf("hybrid burst delay %v well above Locking %v", hyb.MeanDelay, lock.MeanDelay)
+	}
+}
+
+func TestHybridKeepsIPSCapacityAdvantage(t *testing.T) {
+	// At a rate where Locking saturates, the hybrid must still be
+	// stable: the steady traffic runs on the lock-free stack path.
+	p := hybridParams(traffic.Poisson{PacketsPerSec: 2500})
+	p.Streams = 16
+	res := Run(p)
+	if res.Saturated {
+		t.Fatalf("hybrid saturated at a load IPS sustains: %+v", res)
+	}
+	lock := Run(Params{
+		Paradigm: Locking, Policy: sched.MRU,
+		Streams: 16, Arrival: traffic.Poisson{PacketsPerSec: 2500},
+		Seed: 5, MeasuredPackets: 4000,
+	})
+	if !lock.Saturated && lock.MeanDelay < res.MeanDelay {
+		t.Fatalf("expected Locking to be saturated or slower at this load (lock %v, hybrid %v)",
+			lock.MeanDelay, res.MeanDelay)
+	}
+}
+
+func TestHybridUsesLockOnlyForOverflow(t *testing.T) {
+	// Smooth traffic: almost no spills, so no lock waits of note.
+	smooth := Run(hybridParams(traffic.Poisson{PacketsPerSec: 500}))
+	bursty := Run(hybridParams(traffic.Batch{PacketsPerSec: 1000, MeanBurst: 32}))
+	if smooth.MeanLockWait > bursty.MeanLockWait {
+		t.Fatalf("lock contention should grow with burstiness: smooth %v vs bursty %v",
+			smooth.MeanLockWait, bursty.MeanLockWait)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	p := hybridParams(traffic.Poisson{PacketsPerSec: 500}).WithDefaults()
+	if p.HybridOverflow != 2 {
+		t.Fatalf("default overflow threshold = %d, want 2", p.HybridOverflow)
+	}
+	if p.LockOverhead == 0 || p.LockCritFrac == 0 {
+		t.Fatal("hybrid must default the lock costs")
+	}
+	p.HybridOverflow = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("zero overflow threshold accepted")
+	}
+	p = hybridParams(traffic.Poisson{PacketsPerSec: 500})
+	p.Policy = sched.MRU // Locking policy under a stack paradigm
+	p = p.WithDefaults()
+	if err := p.Validate(); err == nil {
+		t.Fatal("locking policy accepted under Hybrid")
+	}
+}
+
+func TestHybridParadigmString(t *testing.T) {
+	if Hybrid.String() != "Hybrid" {
+		t.Fatalf("String = %q", Hybrid.String())
+	}
+}
+
+func TestHybridOverflowThresholdTradesLatencyForOrder(t *testing.T) {
+	// A lower threshold spills earlier: better burst latency, more lock
+	// traffic. Both must remain stable.
+	arrival := traffic.Batch{PacketsPerSec: 1000, MeanBurst: 16}
+	low := hybridParams(arrival)
+	low.HybridOverflow = 1
+	high := hybridParams(arrival)
+	high.HybridOverflow = 8
+	lowRes, highRes := Run(low), Run(high)
+	if lowRes.Saturated || highRes.Saturated {
+		t.Fatal("threshold sweep saturated unexpectedly")
+	}
+	if lowRes.MeanDelay >= highRes.MeanDelay {
+		t.Fatalf("earlier spilling should cut burst delay: t=1 %v vs t=8 %v",
+			lowRes.MeanDelay, highRes.MeanDelay)
+	}
+}

@@ -1,0 +1,462 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"affinity/internal/core"
+	"affinity/internal/des"
+	"affinity/internal/sched"
+	"affinity/internal/stats"
+)
+
+// procState tracks one processor's displacement counters and occupancy.
+//
+// dispNP accumulates displacing references issued by the non-protocol
+// workload (idle periods, scaled by intensity V); dispProto accumulates
+// references issued by protocol execution. Each footprint entity marks
+// both counters when it completes on the processor; the displacement it
+// has suffered since is the counters' growth, with other-protocol growth
+// discounted by the shared-code fraction.
+type procState struct {
+	busy      bool
+	idleSince des.Time
+	dispNP    float64
+	dispProto float64
+	markNP    map[int]float64
+	markProto map[int]float64
+	util      stats.TimeWeighted
+}
+
+// stackState tracks one IPS stack.
+type stackState struct {
+	q       []sched.Packet
+	running bool
+	queued  bool
+}
+
+type runner struct {
+	p     Params
+	sim   *des.Simulator
+	model *core.Model
+	rate  float64 // displacing references per µs of full-speed execution
+
+	disp  sched.PacketDispatcher // Locking
+	sdisp sched.StackDispatcher  // IPS
+	lock  *des.Resource          // Locking: the shared-stack lock
+
+	procs      []procState
+	stacks     []stackState
+	overflow   []sched.Packet // Hybrid: packets spilled to the shared path
+	rng        *des.RNG       // Hybrid overflow placement
+	lastProcOf map[int]int    // entity → processor of previous completion
+
+	delays    *stats.BatchMeans
+	delayAcc  stats.Accumulator
+	delayHist *stats.Histogram
+	perStream []stats.Accumulator
+	service   stats.Accumulator
+	queueing  stats.Accumulator
+	lockWait  stats.Accumulator
+
+	warm       uint64
+	coldStarts uint64
+	migrations uint64
+	measured   int
+	arrivals   uint64
+	trace      []TraceEntry
+}
+
+func newRunner(p Params) *runner {
+	r := &runner{
+		p:          p,
+		sim:        des.NewSimulator(),
+		model:      p.Model,
+		rate:       p.Model.Platform.RefsPerMicrosecond(),
+		procs:      make([]procState, p.Processors),
+		lastProcOf: make(map[int]int),
+		delays:     stats.NewBatchMeans(p.BatchSize),
+		delayHist:  stats.NewHistogram(0, 100_000, 10_000), // 10 µs bins to 100 ms
+		perStream:  make([]stats.Accumulator, p.Streams),
+	}
+	for i := range r.procs {
+		r.procs[i].markNP = make(map[int]float64)
+		r.procs[i].markProto = make(map[int]float64)
+		r.procs[i].util.Set(0, 0)
+	}
+	schedRNG := des.Stream(p.Seed, "sched")
+	if p.Paradigm == Locking {
+		r.disp = sched.NewPacketDispatcherLookahead(p.Policy, p.Processors, schedRNG, p.MRULookahead)
+		r.lock = des.NewResource(r.sim, 1)
+	} else {
+		r.sdisp = sched.NewStackDispatcherLookahead(p.Policy, p.Stacks, p.Processors, schedRNG, p.MRULookahead)
+		r.stacks = make([]stackState, p.Stacks)
+		if p.Paradigm == Hybrid {
+			r.lock = des.NewResource(r.sim, 1)
+			r.rng = des.Stream(p.Seed, "hybrid-overflow")
+		}
+	}
+	return r
+}
+
+// start schedules every stream's arrival process.
+func (r *runner) start() {
+	for s := 0; s < r.p.Streams; s++ {
+		s := s
+		spec := r.p.Arrival
+		if r.p.ArrivalPerStream != nil {
+			spec = r.p.ArrivalPerStream[s]
+		}
+		proc := spec.Build(des.Stream(r.p.Seed, fmt.Sprintf("arrivals-%d", s)))
+		var pending int
+		var fire func()
+		fire = func() {
+			for j := 0; j < pending; j++ {
+				r.arrive(s)
+			}
+			d, b := proc.Next()
+			pending = b
+			r.sim.Schedule(d, fire)
+		}
+		d, b := proc.Next()
+		pending = b
+		r.sim.Schedule(d, fire)
+	}
+}
+
+// idleProcs returns the processors currently free of protocol work.
+func (r *runner) idleProcs() []int {
+	idle := make([]int, 0, len(r.procs))
+	for i := range r.procs {
+		if !r.procs[i].busy {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+func (r *runner) arrive(stream int) {
+	r.arrivals++
+	pkt := sched.Packet{Stream: stream, Entity: r.p.entityOf(stream), Arrive: r.sim.Now()}
+	if r.p.Paradigm == Locking {
+		if idle := r.idleProcs(); len(idle) > 0 {
+			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
+				r.beginService(pkt, proc, true, true, r.completeLocking)
+				return
+			}
+		}
+		r.disp.Enqueue(pkt)
+		return
+	}
+	// IPS / Hybrid: the packet joins its stack's queue; a newly ready
+	// stack is placed on a processor or queued.
+	k := pkt.Entity
+	st := &r.stacks[k]
+	if r.p.Paradigm == Hybrid && (st.running || st.queued) && len(st.q) >= r.p.HybridOverflow {
+		// The stack is backed up: spill to the shared locking path,
+		// which any idle processor may serve concurrently.
+		if idle := r.idleProcs(); len(idle) > 0 {
+			proc := idle[r.rng.Intn(len(idle))]
+			r.beginService(pkt, proc, true, true, r.completeOverflow)
+			return
+		}
+		r.overflow = append(r.overflow, pkt)
+		return
+	}
+	st.q = append(st.q, pkt)
+	if st.running || st.queued {
+		return
+	}
+	if idle := r.idleProcs(); len(idle) > 0 {
+		if proc := r.sdisp.PickProcessor(k, idle); proc >= 0 {
+			r.startStack(k, proc, true)
+			return
+		}
+	}
+	st.queued = true
+	r.sdisp.EnqueueStack(k)
+}
+
+// xRefs returns the displacing references entity e has suffered on proc
+// since it last completed there, or +Inf if it never ran there.
+func (r *runner) xRefs(e, proc int) float64 {
+	ps := &r.procs[proc]
+	mNP, ok := ps.markNP[e]
+	if !ok {
+		return math.Inf(1)
+	}
+	dNP := ps.dispNP - mNP
+	dProto := ps.dispProto - ps.markProto[e]
+	return dNP + (1-r.p.CodeSharedFrac)*dProto
+}
+
+// complete is a service-completion continuation: it receives the packet,
+// the processor, and the protocol execution time that displaces other
+// footprints.
+type complete func(pkt sched.Packet, proc int, protoExec float64)
+
+// beginService runs pkt on proc. fromIdle marks a processor that was
+// running the background workload (its idle displacement is settled and
+// the preemption cost applies). locked selects the shared-stack path,
+// which pays the lock overhead and serializes its critical section; done
+// is invoked at completion.
+func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool, done complete) {
+	now := r.sim.Now()
+	ps := &r.procs[proc]
+	if ps.busy && fromIdle {
+		panic("sim: placed packet on busy processor")
+	}
+	preempt := 0.0
+	if fromIdle {
+		// Settle the idle period's background displacement.
+		ps.dispNP += r.p.Background.Intensity * r.rate * float64(now-ps.idleSince)
+		ps.busy = true
+		ps.util.Set(float64(now), 1)
+		if r.p.Background.Intensity > 0 {
+			preempt = r.p.Background.PreemptCost
+		}
+	}
+
+	x := r.xRefs(pkt.Entity, proc)
+	exec := r.model.ExecTime(x) + r.p.DataTouch
+	if math.IsInf(x, 1) {
+		r.coldStarts++
+	} else if r.model.F1(x) < 0.5 {
+		r.warm++
+	}
+	migrated := false
+	if last, ok := r.lastProcOf[pkt.Entity]; ok && last != proc {
+		r.migrations++
+		migrated = true
+	}
+	r.queueing.Add(float64(now - pkt.Arrive))
+	if len(r.trace) < r.p.TraceN {
+		r.trace = append(r.trace, TraceEntry{
+			Start: now, Stream: pkt.Stream, Entity: pkt.Entity, Processor: proc,
+			Queued: now - pkt.Arrive, XRefs: x, Exec: exec, Migrated: migrated,
+		})
+	}
+
+	if locked {
+		nonCrit := preempt + r.p.LockOverhead + (1-r.p.LockCritFrac)*exec
+		crit := r.p.LockCritFrac * exec
+		r.sim.Schedule(des.Time(nonCrit), func() {
+			requested := r.sim.Now()
+			r.lock.Acquire(func() {
+				r.lockWait.Add(float64(r.sim.Now() - requested))
+				r.sim.Schedule(des.Time(crit), func() {
+					r.lock.Release()
+					done(pkt, proc, exec+r.p.LockOverhead)
+				})
+			})
+		})
+		return
+	}
+	r.sim.Schedule(des.Time(preempt+exec), func() {
+		done(pkt, proc, exec)
+	})
+}
+
+// settleCompletion updates displacement marks, affinity state and delay
+// statistics common to both paradigms. protoExec is the protocol
+// execution time that displaces other footprints (spin wait excluded).
+func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64) {
+	now := r.sim.Now()
+	ps := &r.procs[proc]
+	ps.dispProto += r.rate * protoExec
+	ps.markNP[pkt.Entity] = ps.dispNP
+	ps.markProto[pkt.Entity] = ps.dispProto
+	r.lastProcOf[pkt.Entity] = proc
+	if r.p.Paradigm == Locking {
+		r.disp.RanOn(pkt.Entity, proc)
+	} else {
+		r.sdisp.RanOn(pkt.Entity, proc)
+	}
+	r.service.Add(protoExec)
+
+	if pkt.Arrive >= r.p.Warmup {
+		delay := float64(now - pkt.Arrive)
+		r.delays.Add(delay)
+		r.delayAcc.Add(delay)
+		r.delayHist.Add(delay)
+		r.perStream[pkt.Stream].Add(delay)
+		r.measured++
+		if r.measured >= r.p.MeasuredPackets {
+			if r.p.TargetRelCI <= 0 ||
+				r.delays.RelativeHalfWidth() <= r.p.TargetRelCI {
+				r.sim.Stop()
+			}
+		}
+	}
+}
+
+// goIdle marks a processor idle and lets the background workload resume.
+func (r *runner) goIdle(proc int) {
+	ps := &r.procs[proc]
+	ps.busy = false
+	ps.idleSince = r.sim.Now()
+	ps.util.Set(float64(r.sim.Now()), 0)
+}
+
+func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) {
+	r.settleCompletion(pkt, proc, protoExec)
+	if next, ok := r.disp.Dispatch(proc); ok {
+		r.beginService(next, proc, false, true, r.completeLocking)
+		return
+	}
+	r.goIdle(proc)
+}
+
+// completeOverflow finishes a Hybrid spilled packet and picks the
+// processor's next work: a ready stack first (affinity), then another
+// spilled packet.
+func (r *runner) completeOverflow(pkt sched.Packet, proc int, protoExec float64) {
+	r.settleCompletion(pkt, proc, protoExec)
+	r.dispatchHybrid(proc)
+}
+
+// dispatchHybrid finds the next work item for an idle-going processor
+// under the Hybrid paradigm.
+func (r *runner) dispatchHybrid(proc int) {
+	if next := r.sdisp.DispatchStack(proc); next >= 0 {
+		r.stacks[next].queued = false
+		r.startStack(next, proc, false)
+		return
+	}
+	if len(r.overflow) > 0 {
+		pkt := r.overflow[0]
+		r.overflow = r.overflow[1:]
+		r.beginService(pkt, proc, false, true, r.completeOverflow)
+		return
+	}
+	r.goIdle(proc)
+}
+
+func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
+	r.settleCompletion(pkt, proc, protoExec)
+	k := pkt.Entity
+	st := &r.stacks[k]
+	st.q = st.q[1:]
+	if len(st.q) > 0 {
+		// The stack still has work, but packet-level fairness applies:
+		// if another ready stack is waiting for this processor, yield
+		// to it and rejoin the ready queue; otherwise keep running.
+		if next := r.sdisp.DispatchStack(proc); next >= 0 {
+			st.running = false
+			st.queued = true
+			r.sdisp.EnqueueStack(k)
+			r.stacks[next].queued = false
+			r.startStack(next, proc, false)
+			return
+		}
+		r.beginService(st.q[0], proc, false, false, r.completeIPS)
+		return
+	}
+	st.running = false
+	if r.p.Paradigm == Hybrid {
+		r.dispatchHybrid(proc)
+		return
+	}
+	if next := r.sdisp.DispatchStack(proc); next >= 0 {
+		r.stacks[next].queued = false
+		r.startStack(next, proc, false)
+		return
+	}
+	r.goIdle(proc)
+}
+
+func (r *runner) startStack(k, proc int, fromIdle bool) {
+	st := &r.stacks[k]
+	if len(st.q) == 0 {
+		panic("sim: started an empty stack")
+	}
+	st.running = true
+	st.queued = false
+	r.beginService(st.q[0], proc, fromIdle, false, r.completeIPS)
+}
+
+func (r *runner) queuedPackets() int {
+	if r.p.Paradigm == Locking {
+		return r.disp.Queued()
+	}
+	n := len(r.overflow)
+	for i := range r.stacks {
+		q := len(r.stacks[i].q)
+		if r.stacks[i].running && q > 0 {
+			q-- // the head is in service, not waiting
+		}
+		n += q
+	}
+	return n
+}
+
+func (r *runner) results() Results {
+	now := r.sim.Now()
+	measureSpan := now - r.p.Warmup
+	offered := float64(r.p.Streams) * r.p.Arrival.Rate()
+	if r.p.ArrivalPerStream != nil {
+		offered = 0
+		for _, spec := range r.p.ArrivalPerStream {
+			offered += spec.Rate()
+		}
+	}
+	res := Results{
+		Paradigm:     r.p.Paradigm.String(),
+		Policy:       r.p.Policy.String(),
+		OfferedRate:  offered,
+		Completed:    uint64(r.measured),
+		Arrivals:     r.arrivals,
+		MeanDelay:    r.delayAcc.Mean(),
+		DelayCI:      r.delays.HalfWidth(),
+		P95Delay:     r.delayHist.Quantile(0.95),
+		MaxDelay:     r.delayAcc.Max(),
+		MeanService:  r.service.Mean(),
+		MeanQueueing: r.queueing.Mean(),
+		MeanLockWait: r.lockWait.Mean(),
+		ColdStarts:   r.coldStarts,
+		Migrations:   r.migrations,
+		QueueAtEnd:   r.queuedPackets(),
+		SimTime:      now,
+	}
+	if total := r.service.N(); total > 0 {
+		res.WarmFraction = float64(r.warm) / float64(total)
+	}
+	if measureSpan > 0 && r.measured > 0 {
+		res.Throughput = float64(r.measured) / measureSpan.Seconds()
+	}
+	var util float64
+	for i := range r.procs {
+		util += r.procs[i].util.Mean(float64(now))
+	}
+	res.Utilization = util / float64(len(r.procs))
+	res.Saturated = r.measured < r.p.MeasuredPackets ||
+		res.QueueAtEnd > 20*r.p.Processors
+	res.PerStreamDelay = make([]float64, len(r.perStream))
+	for i := range r.perStream {
+		res.PerStreamDelay[i] = r.perStream[i].Mean()
+	}
+	res.DelayFairness = jainIndex(res.PerStreamDelay)
+	res.Trace = r.trace
+	return res
+}
+
+// jainIndex returns Jain's fairness index over per-stream mean delays:
+// (Σx)² / (n·Σx²) — 1 when all streams see equal delay, → 1/n when one
+// stream absorbs everything. Streams with no measured packets are
+// excluded.
+func jainIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}

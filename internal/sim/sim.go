@@ -1,0 +1,372 @@
+// Package sim is the multiprocessor protocol-processing simulation at the
+// heart of the study: N processors serve packet streams under a
+// parallelization paradigm (Locking or IPS) and an affinity scheduling
+// policy, while a general non-protocol workload displaces protocol
+// footprints from the caches whenever processors are otherwise idle.
+//
+// Per-packet service times come from the analytic model in internal/core,
+// parameterized by the calibration measurements — exactly the structure of
+// the paper's own simulator (Section 3).
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"affinity/internal/core"
+	"affinity/internal/des"
+	"affinity/internal/sched"
+	"affinity/internal/traffic"
+	"affinity/internal/workload"
+)
+
+// Paradigm selects the protocol parallelization alternative.
+type Paradigm int
+
+const (
+	// Locking is the shared protocol stack protected by locks: any
+	// processor may process any packet.
+	Locking Paradigm = iota
+	// IPS gives each thread a private, independent protocol stack;
+	// streams are partitioned across stacks and each stack processes
+	// its packets serially.
+	IPS
+	// Hybrid combines the two (the companion TR's proposal): streams
+	// are wired to independent stacks as under IPS, but when a stack's
+	// queue builds past HybridOverflow, excess packets spill to a
+	// shared, lock-protected path that any idle processor may serve —
+	// IPS latency on smooth traffic, Locking-like robustness to bursts.
+	Hybrid
+)
+
+func (p Paradigm) String() string {
+	switch p {
+	case Locking:
+		return "Locking"
+	case IPS:
+		return "IPS"
+	case Hybrid:
+		return "Hybrid"
+	default:
+		return fmt.Sprintf("Paradigm(%d)", int(p))
+	}
+}
+
+// Params configures one simulation run.
+type Params struct {
+	Model    *core.Model // nil selects core.NewModel()
+	Paradigm Paradigm
+	Policy   sched.Kind
+
+	Processors int // 0 selects the model platform's processor count
+	Streams    int
+	Stacks     int // IPS only; 0 selects min(Streams, Processors)
+
+	// Arrival is the per-stream arrival process.
+	Arrival traffic.Spec
+	// ArrivalPerStream optionally gives each stream its own arrival
+	// process (heterogeneous workloads); when set it must have exactly
+	// Streams entries and overrides Arrival.
+	ArrivalPerStream []traffic.Spec
+	// Background is the non-protocol workload (intensity V etc.).
+	// nil selects workload.Default(); use &workload.NonProtocol{} (or
+	// workload.Idle()) for the V = 0 host.
+	Background *workload.NonProtocol
+
+	// LockOverhead is the fixed per-packet cost (µs) of lock management
+	// under Locking; LockCritFrac is the fraction of the packet's base
+	// execution spent holding the shared-stack lock, which bounds
+	// aggregate Locking throughput at 1/(LockCritFrac·exec).
+	LockOverhead float64
+	LockCritFrac float64
+
+	// CodeSharedFrac is the fraction of a footprint shared between
+	// protocol entities (the protocol text and shared tables): execution
+	// by other protocol entities displaces only the private remainder.
+	// It applies to the Locking paradigm, whose streams run through one
+	// shared stack (0 selects the default 0.5). Under IPS each stack is
+	// a fully independent replica, so inter-stack displacement is always
+	// full strength and this field is ignored.
+	CodeSharedFrac float64
+
+	// DataTouch is an extra fixed per-packet cost (µs) for data-touching
+	// operations (copying / software checksumming); 0 reproduces the
+	// paper's non-data-touching configuration.
+	DataTouch float64
+
+	// HybridOverflow is the stack queue depth beyond which arrivals
+	// spill to the shared locking path (Hybrid paradigm only; 0 selects
+	// the default of 2).
+	HybridOverflow int
+
+	// MRULookahead bounds how many waiting packets (or ready stacks) an
+	// idle processor examines for an affine one before taking the FIFO
+	// head under the MRU policies. 0 selects the default of 4 — a small
+	// bounded scan, as a real dispatcher running under the queue lock
+	// would use.
+	MRULookahead int
+
+	Seed int64
+
+	// Warmup discards packets that arrive before this time; measurement
+	// runs until MeasuredPackets have completed or MaxTime is reached.
+	Warmup          des.Time
+	MeasuredPackets int
+	MaxTime         des.Time
+
+	// TargetRelCI, when positive, enables sequential stopping: after
+	// MeasuredPackets completions the run keeps measuring until the
+	// batch-means 95% confidence half-width falls below this fraction
+	// of the mean delay (or MaxTime intervenes). Classic CI-driven
+	// run-length control.
+	TargetRelCI float64
+
+	// TraceN, when positive, records the first TraceN service decisions
+	// in Results.Trace — the scheduling dynamics, packet by packet.
+	TraceN int
+	// BatchSize for the batch-means confidence interval; 0 derives one
+	// from MeasuredPackets.
+	BatchSize uint64
+}
+
+// WithDefaults returns a copy with zero fields replaced by defaults.
+func (p Params) WithDefaults() Params {
+	if p.Model == nil {
+		p.Model = core.NewModel()
+	}
+	if p.Processors == 0 {
+		p.Processors = p.Model.Platform.Processors
+	}
+	if p.Streams == 0 {
+		p.Streams = p.Processors
+	}
+	if (p.Paradigm == IPS || p.Paradigm == Hybrid) && p.Stacks == 0 {
+		p.Stacks = min(p.Streams, p.Processors)
+	}
+	if p.Arrival == nil {
+		p.Arrival = traffic.Poisson{PacketsPerSec: 1000}
+	}
+	if p.Background == nil {
+		bg := workload.Default()
+		p.Background = &bg
+	}
+	if p.MRULookahead == 0 {
+		p.MRULookahead = 4
+	}
+	if p.Paradigm == Locking || p.Paradigm == Hybrid {
+		if p.LockOverhead == 0 {
+			p.LockOverhead = 12
+		}
+		if p.LockCritFrac == 0 {
+			p.LockCritFrac = 0.15
+		}
+	}
+	if p.Paradigm == Hybrid && p.HybridOverflow == 0 {
+		p.HybridOverflow = 2
+	}
+	switch p.Paradigm {
+	case Locking:
+		if p.CodeSharedFrac == 0 {
+			p.CodeSharedFrac = 0.5
+		}
+	case IPS, Hybrid:
+		p.CodeSharedFrac = 0 // independent replicas share nothing
+	}
+	if p.Warmup == 0 {
+		p.Warmup = 200 * des.Millisecond
+	}
+	if p.MeasuredPackets == 0 {
+		p.MeasuredPackets = 15000
+	}
+	if p.MaxTime == 0 {
+		p.MaxTime = 120 * des.Second
+	}
+	if p.BatchSize == 0 {
+		p.BatchSize = uint64(max(p.MeasuredPackets/30, 1))
+	}
+	return p
+}
+
+// Validate reports a descriptive error for inconsistent parameters.
+func (p Params) Validate() error {
+	if err := p.Model.Validate(); err != nil {
+		return err
+	}
+	if err := p.Background.Validate(); err != nil {
+		return err
+	}
+	switch p.Paradigm {
+	case Locking:
+		if !p.Policy.ForLocking() {
+			return fmt.Errorf("sim: policy %v is not a Locking policy", p.Policy)
+		}
+	case IPS, Hybrid:
+		if !p.Policy.ForIPS() {
+			return fmt.Errorf("sim: policy %v is not an IPS policy", p.Policy)
+		}
+		if p.Stacks <= 0 {
+			return fmt.Errorf("sim: %v needs at least one stack, got %d", p.Paradigm, p.Stacks)
+		}
+		if p.Paradigm == Hybrid && p.HybridOverflow < 1 {
+			return fmt.Errorf("sim: hybrid overflow threshold %d must be ≥ 1", p.HybridOverflow)
+		}
+	default:
+		return fmt.Errorf("sim: unknown paradigm %v", p.Paradigm)
+	}
+	if p.Processors <= 0 || p.Streams <= 0 {
+		return fmt.Errorf("sim: processors %d / streams %d must be positive", p.Processors, p.Streams)
+	}
+	if p.ArrivalPerStream != nil && len(p.ArrivalPerStream) != p.Streams {
+		return fmt.Errorf("sim: %d per-stream arrival specs for %d streams",
+			len(p.ArrivalPerStream), p.Streams)
+	}
+	if p.LockCritFrac < 0 || p.LockCritFrac > 1 {
+		return fmt.Errorf("sim: lock critical fraction %v outside [0, 1]", p.LockCritFrac)
+	}
+	if p.CodeSharedFrac < 0 || p.CodeSharedFrac > 1 {
+		return fmt.Errorf("sim: code shared fraction %v outside [0, 1]", p.CodeSharedFrac)
+	}
+	if p.DataTouch < 0 || p.LockOverhead < 0 {
+		return fmt.Errorf("sim: negative per-packet overheads")
+	}
+	if p.TargetRelCI < 0 || p.TargetRelCI >= 1 {
+		if p.TargetRelCI != 0 {
+			return fmt.Errorf("sim: target relative CI %v outside (0, 1)", p.TargetRelCI)
+		}
+	}
+	if p.TraceN < 0 {
+		return fmt.Errorf("sim: negative trace length %d", p.TraceN)
+	}
+	return nil
+}
+
+// Results reports the metrics of one run. Delays and times are in
+// microseconds; rates in packets per second.
+type Results struct {
+	Paradigm string
+	Policy   string
+
+	OfferedRate float64 // aggregate offered load
+	Throughput  float64 // measured completion rate
+
+	Completed uint64 // measured completions
+	Arrivals  uint64 // total arrivals over the run
+
+	MeanDelay float64 // arrival → completion
+	DelayCI   float64 // 95% batch-means half-width
+	P95Delay  float64
+	MaxDelay  float64
+
+	MeanService  float64 // execution time (model output + fixed costs)
+	MeanQueueing float64 // arrival → service start
+	MeanLockWait float64 // spin time on the shared-stack lock (Locking)
+
+	WarmFraction float64 // completions with F1(x) < 0.5
+	ColdStarts   uint64  // completions on a processor new to the entity
+	Migrations   uint64  // completions on a different processor than last time
+
+	Utilization float64 // mean processor busy fraction
+	QueueAtEnd  int     // packets still waiting when the run stopped
+	Saturated   bool    // run could not sustain the offered load
+	SimTime     des.Time
+
+	// PerStreamDelay holds each stream's mean delay; DelayFairness is
+	// Jain's fairness index over them (1 = perfectly even).
+	PerStreamDelay []float64
+	DelayFairness  float64
+
+	// Trace holds the first Params.TraceN service decisions.
+	Trace []TraceEntry
+}
+
+// TraceEntry records one scheduling decision: which packet started
+// service where, how displaced its footprint was, and what the model
+// charged for it.
+type TraceEntry struct {
+	Start     des.Time
+	Stream    int
+	Entity    int
+	Processor int
+	Queued    des.Time // time spent waiting before service
+	XRefs     float64  // displacing references since the entity last ran here (+Inf = cold)
+	Exec      float64  // charged execution time (µs)
+	Migrated  bool
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// entityCount returns how many footprint entities the run has.
+func (p Params) entityCount() int {
+	if p.Paradigm == IPS || p.Paradigm == Hybrid {
+		return p.Stacks
+	}
+	return p.Streams
+}
+
+// entityOf maps a stream to its footprint entity.
+func (p Params) entityOf(stream int) int {
+	if p.Paradigm == IPS || p.Paradigm == Hybrid {
+		return stream % p.Stacks
+	}
+	return stream
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(p Params) Results {
+	p = p.WithDefaults()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	r := newRunner(p)
+	r.start()
+	r.sim.RunUntil(p.MaxTime)
+	return r.results()
+}
+
+// used by tests to silence unused import when math is trimmed later
+var _ = math.Inf
+
+// RunMany executes independent simulations concurrently on up to
+// workers goroutines (0 selects GOMAXPROCS) and returns results in input
+// order. Each run is deterministic given its own Params.Seed, so the
+// output is identical to running them sequentially.
+func RunMany(params []Params, workers int) []Results {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(params) {
+		workers = len(params)
+	}
+	results := make([]Results, len(params))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = Run(params[i])
+			}
+		}()
+	}
+	for i := range params {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}

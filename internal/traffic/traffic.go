@@ -1,0 +1,167 @@
+// Package traffic provides the packet arrival processes the study
+// exercises: Poisson streams (the paper's base workload), deterministic
+// streams, batch-bursty arrivals (the intra-stream burstiness
+// experiments), and the Jain–Routhier packet-train model [9] named in the
+// paper's extensions.
+package traffic
+
+import (
+	"fmt"
+
+	"affinity/internal/des"
+)
+
+// Process yields successive arrivals for one stream. Next returns the
+// delay from the previous arrival event and the number of packets
+// arriving together (≥1).
+type Process interface {
+	Next() (delay des.Time, batch int)
+}
+
+// Spec constructs a per-stream arrival process. Implementations are
+// value types carrying parameters; Build instantiates the stochastic
+// state with the stream's own RNG.
+type Spec interface {
+	// Rate returns the long-run packet rate in packets/second, used by
+	// sweeps to label operating points.
+	Rate() float64
+	Build(rng *des.RNG) Process
+	String() string
+}
+
+// interarrival converts packets/second to a mean gap in µs.
+func interarrival(rate float64) des.Time {
+	if rate <= 0 {
+		panic(fmt.Sprintf("traffic: non-positive rate %v", rate))
+	}
+	return des.Time(1e6 / rate)
+}
+
+// Poisson is a Poisson arrival process.
+type Poisson struct {
+	PacketsPerSec float64
+}
+
+// Rate implements Spec.
+func (p Poisson) Rate() float64 { return p.PacketsPerSec }
+
+func (p Poisson) String() string { return fmt.Sprintf("poisson(%g pkt/s)", p.PacketsPerSec) }
+
+// Build implements Spec.
+func (p Poisson) Build(rng *des.RNG) Process {
+	return &poissonProc{mean: interarrival(p.PacketsPerSec), rng: rng}
+}
+
+type poissonProc struct {
+	mean des.Time
+	rng  *des.RNG
+}
+
+func (p *poissonProc) Next() (des.Time, int) { return p.rng.ExpTime(p.mean), 1 }
+
+// Deterministic is a constant-gap arrival process.
+type Deterministic struct {
+	PacketsPerSec float64
+}
+
+// Rate implements Spec.
+func (d Deterministic) Rate() float64 { return d.PacketsPerSec }
+
+func (d Deterministic) String() string { return fmt.Sprintf("cbr(%g pkt/s)", d.PacketsPerSec) }
+
+// Build implements Spec.
+func (d Deterministic) Build(*des.RNG) Process {
+	return fixedProc(interarrival(d.PacketsPerSec))
+}
+
+type fixedProc des.Time
+
+func (f fixedProc) Next() (des.Time, int) { return des.Time(f), 1 }
+
+// Batch is a bursty process: burst events arrive Poisson; each carries a
+// geometrically distributed number of packets with the given mean, so
+// the long-run packet rate is PacketsPerSec while intra-stream burstiness
+// grows with MeanBurst.
+type Batch struct {
+	PacketsPerSec float64
+	MeanBurst     float64
+}
+
+// Rate implements Spec.
+func (b Batch) Rate() float64 { return b.PacketsPerSec }
+
+func (b Batch) String() string {
+	return fmt.Sprintf("batch(%g pkt/s, b=%g)", b.PacketsPerSec, b.MeanBurst)
+}
+
+// Build implements Spec.
+func (b Batch) Build(rng *des.RNG) Process {
+	if b.MeanBurst < 1 {
+		panic(fmt.Sprintf("traffic: mean burst %v below 1", b.MeanBurst))
+	}
+	eventRate := b.PacketsPerSec / b.MeanBurst
+	return &batchProc{mean: interarrival(eventRate), burst: b.MeanBurst, rng: rng}
+}
+
+type batchProc struct {
+	mean  des.Time
+	burst float64
+	rng   *des.RNG
+}
+
+func (b *batchProc) Next() (des.Time, int) {
+	return b.rng.ExpTime(b.mean), b.rng.Geometric(b.burst)
+}
+
+// Train is the Jain–Routhier packet-train model: trains start as a
+// Poisson process; within a train, packets follow at a fixed intra-train
+// gap; train lengths are geometric with the given mean. The long-run
+// packet rate is PacketsPerSec.
+type Train struct {
+	PacketsPerSec float64
+	MeanTrainLen  float64
+	IntraGap      des.Time // gap between packets inside a train
+}
+
+// Rate implements Spec.
+func (t Train) Rate() float64 { return t.PacketsPerSec }
+
+func (t Train) String() string {
+	return fmt.Sprintf("train(%g pkt/s, len=%g, gap=%v)", t.PacketsPerSec, t.MeanTrainLen, t.IntraGap)
+}
+
+// Build implements Spec.
+func (t Train) Build(rng *des.RNG) Process {
+	if t.MeanTrainLen < 1 {
+		panic(fmt.Sprintf("traffic: mean train length %v below 1", t.MeanTrainLen))
+	}
+	if t.IntraGap < 0 {
+		panic("traffic: negative intra-train gap")
+	}
+	// Mean cycle = inter-train gap + (len-1)·intraGap must deliver
+	// len packets: interTrain = len/rate − (len−1)·intraGap.
+	meanLen := t.MeanTrainLen
+	inter := des.Time(meanLen*1e6/t.PacketsPerSec) - des.Time(meanLen-1)*t.IntraGap
+	if inter <= 0 {
+		panic(fmt.Sprintf("traffic: train params infeasible: rate %v, len %v, gap %v",
+			t.PacketsPerSec, meanLen, t.IntraGap))
+	}
+	return &trainProc{interTrain: inter, meanLen: meanLen, gap: t.IntraGap, rng: rng}
+}
+
+type trainProc struct {
+	interTrain des.Time
+	meanLen    float64
+	gap        des.Time
+	rng        *des.RNG
+	remaining  int // packets left in the current train
+}
+
+func (t *trainProc) Next() (des.Time, int) {
+	if t.remaining > 0 {
+		t.remaining--
+		return t.gap, 1
+	}
+	t.remaining = t.rng.Geometric(t.meanLen) - 1
+	return t.rng.ExpTime(t.interTrain), 1
+}

@@ -1,0 +1,162 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"affinity/internal/des"
+)
+
+// measureRate drives a process for many arrivals and returns the
+// empirical packet rate (packets/second).
+func measureRate(p Process, events int) float64 {
+	var elapsed des.Time
+	packets := 0
+	for i := 0; i < events; i++ {
+		d, b := p.Next()
+		elapsed += d
+		packets += b
+	}
+	return float64(packets) / elapsed.Seconds()
+}
+
+func TestPoissonRate(t *testing.T) {
+	p := Poisson{PacketsPerSec: 2000}.Build(des.NewRNG(1))
+	got := measureRate(p, 100000)
+	if math.Abs(got-2000)/2000 > 0.02 {
+		t.Fatalf("empirical rate = %v, want ≈2000", got)
+	}
+}
+
+func TestPoissonBatchAlwaysOne(t *testing.T) {
+	p := Poisson{PacketsPerSec: 100}.Build(des.NewRNG(2))
+	for i := 0; i < 1000; i++ {
+		if _, b := p.Next(); b != 1 {
+			t.Fatal("poisson batch != 1")
+		}
+	}
+}
+
+func TestDeterministicExactGap(t *testing.T) {
+	p := Deterministic{PacketsPerSec: 1000}.Build(nil)
+	for i := 0; i < 10; i++ {
+		d, b := p.Next()
+		if d != 1000 || b != 1 { // 1000 µs at 1000 pkt/s
+			t.Fatalf("Next = %v, %d", d, b)
+		}
+	}
+}
+
+func TestBatchPreservesRate(t *testing.T) {
+	p := Batch{PacketsPerSec: 2000, MeanBurst: 8}.Build(des.NewRNG(3))
+	got := measureRate(p, 100000)
+	if math.Abs(got-2000)/2000 > 0.03 {
+		t.Fatalf("empirical rate = %v, want ≈2000", got)
+	}
+}
+
+func TestBatchMeanBurst(t *testing.T) {
+	p := Batch{PacketsPerSec: 2000, MeanBurst: 8}.Build(des.NewRNG(4))
+	total, events := 0, 50000
+	for i := 0; i < events; i++ {
+		_, b := p.Next()
+		if b < 1 {
+			t.Fatal("batch below 1")
+		}
+		total += b
+	}
+	mean := float64(total) / float64(events)
+	if math.Abs(mean-8) > 0.2 {
+		t.Fatalf("mean burst = %v, want ≈8", mean)
+	}
+}
+
+func TestBatchDegeneratesToPoisson(t *testing.T) {
+	p := Batch{PacketsPerSec: 500, MeanBurst: 1}.Build(des.NewRNG(5))
+	for i := 0; i < 1000; i++ {
+		if _, b := p.Next(); b != 1 {
+			t.Fatal("unit-burst batch produced multi-packet event")
+		}
+	}
+}
+
+func TestTrainPreservesRate(t *testing.T) {
+	p := Train{PacketsPerSec: 2000, MeanTrainLen: 10, IntraGap: 50}.Build(des.NewRNG(6))
+	got := measureRate(p, 200000)
+	if math.Abs(got-2000)/2000 > 0.03 {
+		t.Fatalf("empirical rate = %v, want ≈2000", got)
+	}
+}
+
+func TestTrainIntraGapSpacing(t *testing.T) {
+	p := Train{PacketsPerSec: 1000, MeanTrainLen: 20, IntraGap: 50}.Build(des.NewRNG(7))
+	intra := 0
+	for i := 0; i < 10000; i++ {
+		d, _ := p.Next()
+		if d == 50 {
+			intra++
+		}
+	}
+	// Mean train length 20 ⇒ ~95% of gaps are intra-train.
+	if intra < 9000 {
+		t.Fatalf("only %d/10000 intra-train gaps", intra)
+	}
+}
+
+func TestTrainInfeasibleParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for infeasible train")
+		}
+	}()
+	// At 20k pkt/s with a 100 µs intra gap and long trains, the cycle
+	// budget is blown.
+	Train{PacketsPerSec: 20000, MeanTrainLen: 100, IntraGap: 100}.Build(des.NewRNG(8))
+}
+
+func TestInvalidRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero rate")
+		}
+	}()
+	Poisson{PacketsPerSec: 0}.Build(des.NewRNG(9))
+}
+
+func TestInvalidBurstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for burst < 1")
+		}
+	}()
+	Batch{PacketsPerSec: 100, MeanBurst: 0.5}.Build(des.NewRNG(10))
+}
+
+func TestSpecRateAndString(t *testing.T) {
+	specs := []Spec{
+		Poisson{PacketsPerSec: 123},
+		Deterministic{PacketsPerSec: 123},
+		Batch{PacketsPerSec: 123, MeanBurst: 4},
+		Train{PacketsPerSec: 123, MeanTrainLen: 5, IntraGap: 10},
+	}
+	for _, s := range specs {
+		if s.Rate() != 123 {
+			t.Errorf("%T Rate = %v", s, s.Rate())
+		}
+		if s.String() == "" {
+			t.Errorf("%T empty String", s)
+		}
+	}
+}
+
+func TestDeterminismAcrossBuilds(t *testing.T) {
+	a := Batch{PacketsPerSec: 1000, MeanBurst: 4}.Build(des.NewRNG(42))
+	b := Batch{PacketsPerSec: 1000, MeanBurst: 4}.Build(des.NewRNG(42))
+	for i := 0; i < 1000; i++ {
+		d1, n1 := a.Next()
+		d2, n2 := b.Next()
+		if d1 != d2 || n1 != n2 {
+			t.Fatal("same-seed processes diverged")
+		}
+	}
+}

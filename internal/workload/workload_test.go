@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+func TestDefaults(t *testing.T) {
+	d := Default()
+	if d.Intensity != 1 {
+		t.Fatalf("Default intensity = %v, want 1", d.Intensity)
+	}
+	if d.PreemptCost <= 0 {
+		t.Fatal("Default preempt cost must be positive")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	i := Idle()
+	if i.Intensity != 0 || i.PreemptCost != 0 {
+		t.Fatalf("Idle = %+v, want zero intensity and preempt cost", i)
+	}
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithIntensity(t *testing.T) {
+	half := WithIntensity(0.5)
+	if half.Intensity != 0.5 {
+		t.Fatalf("Intensity = %v", half.Intensity)
+	}
+	if half.PreemptCost != Default().PreemptCost {
+		t.Fatal("non-zero intensity must keep the default preempt cost")
+	}
+	zero := WithIntensity(0)
+	if zero.PreemptCost != 0 {
+		t.Fatal("V=0 host has nothing to preempt")
+	}
+}
+
+func TestValidateRejectsOutOfRange(t *testing.T) {
+	bad := []NonProtocol{
+		{Intensity: -0.1},
+		{Intensity: 1.1},
+		{Intensity: 0.5, PreemptCost: -1},
+	}
+	for _, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("invalid workload accepted: %+v", n)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package fddi implements FDDI MAC framing with LLC/SNAP encapsulation —
+// the link layer of the paper's UDP/IP/FDDI protocol stack. Frames are
+// produced and consumed by the in-memory driver (internal/driver), the
+// same technique the paper used: "data is not received from the actual
+// FDDI network."
+package fddi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"affinity/internal/xkernel"
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// Broadcast is the all-ones MAC address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Frame-control value for asynchronous LLC frames.
+const fcLLCAsync = 0x50
+
+// LLC/SNAP constants for encapsulated network protocols.
+const (
+	llcSAP  = 0xaa
+	llcCtrl = 0x03
+)
+
+// HeaderLen is the FDDI MAC + LLC/SNAP header length: FC(1) + DA(6) +
+// SA(6) + DSAP/SSAP/CTRL(3) + OUI(3) + EtherType(2).
+const HeaderLen = 21
+
+// EtherTypeIPv4 identifies IP datagrams in the SNAP header.
+const EtherTypeIPv4 = 0x0800
+
+// MTU is the maximum link payload (IP datagram) we carry per frame,
+// chosen so the largest UDP payload is 4432 bytes (IP 20 + UDP 8 + 4432),
+// the "largest possible FDDI packet" data size the paper quotes.
+const MTU = 4460
+
+// Header is the FDDI MAC + LLC/SNAP header.
+type Header struct {
+	Dst, Src  Addr
+	EtherType uint16
+}
+
+// Encode prepends the header to a send-side message.
+func (h Header) Encode(m *xkernel.Message) {
+	b := m.Push(HeaderLen)
+	b[0] = fcLLCAsync
+	copy(b[1:7], h.Dst[:])
+	copy(b[7:13], h.Src[:])
+	b[13], b[14], b[15] = llcSAP, llcSAP, llcCtrl
+	b[16], b[17], b[18] = 0, 0, 0 // OUI
+	binary.BigEndian.PutUint16(b[19:21], h.EtherType)
+}
+
+// DecodeHeader parses and validates an FDDI MAC + LLC/SNAP header.
+func DecodeHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, xkernel.ErrTruncated
+	}
+	if b[0] != fcLLCAsync {
+		return h, fmt.Errorf("%w: frame control %#02x", xkernel.ErrBadHeader, b[0])
+	}
+	if b[13] != llcSAP || b[14] != llcSAP || b[15] != llcCtrl {
+		return h, fmt.Errorf("%w: not LLC/SNAP", xkernel.ErrBadHeader)
+	}
+	copy(h.Dst[:], b[1:7])
+	copy(h.Src[:], b[7:13])
+	h.EtherType = binary.BigEndian.Uint16(b[19:21])
+	return h, nil
+}
+
+// Stats counts link-layer demux outcomes.
+type Stats struct {
+	Delivered   uint64 // frames handed to an upper protocol
+	NotForUs    uint64 // unicast frames for another station
+	NoUpper     uint64 // no protocol bound to the EtherType
+	Malformed   uint64 // truncated or non-SNAP frames
+	UpperErrors uint64 // upper layer rejected the frame
+}
+
+// Protocol is the receive-side FDDI layer.
+type Protocol struct {
+	LocalAddr   Addr
+	Promiscuous bool
+
+	upper map[uint16]xkernel.Protocol
+	stats Stats
+}
+
+// New returns an FDDI protocol endpoint for the given station address.
+func New(local Addr) *Protocol {
+	return &Protocol{LocalAddr: local, upper: make(map[uint16]xkernel.Protocol)}
+}
+
+// Name implements xkernel.Protocol.
+func (p *Protocol) Name() string { return "fddi" }
+
+// RegisterUpper binds an EtherType to the protocol above (e.g. IPv4).
+func (p *Protocol) RegisterUpper(etherType uint16, up xkernel.Protocol) {
+	p.upper[etherType] = up
+}
+
+// Stats returns a copy of the demux counters.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// Demux strips the FDDI header, filters on destination address, and
+// passes the message to the protocol bound to its EtherType.
+func (p *Protocol) Demux(m *xkernel.Message) error {
+	raw, err := m.Peek(HeaderLen)
+	if err != nil {
+		p.stats.Malformed++
+		return err
+	}
+	h, err := DecodeHeader(raw)
+	if err != nil {
+		p.stats.Malformed++
+		return err
+	}
+	if !p.Promiscuous && h.Dst != p.LocalAddr && h.Dst != Broadcast {
+		p.stats.NotForUs++
+		return xkernel.ErrNotLocal
+	}
+	up, ok := p.upper[h.EtherType]
+	if !ok {
+		p.stats.NoUpper++
+		return fmt.Errorf("%w: ethertype %#04x", xkernel.ErrNoDemuxMatch, h.EtherType)
+	}
+	if _, err := m.Pop(HeaderLen); err != nil {
+		p.stats.Malformed++
+		return err
+	}
+	if err := up.Demux(m); err != nil {
+		p.stats.UpperErrors++
+		return err
+	}
+	p.stats.Delivered++
+	return nil
+}

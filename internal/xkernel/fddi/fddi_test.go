@@ -1,0 +1,186 @@
+package fddi
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/xkernel"
+)
+
+var (
+	stationA = Addr{0x02, 0x00, 0x00, 0x00, 0x00, 0x0a}
+	stationB = Addr{0x02, 0x00, 0x00, 0x00, 0x00, 0x0b}
+)
+
+// sink records demuxed messages.
+type sink struct {
+	got []([]byte)
+	err error
+}
+
+func (s *sink) Name() string { return "sink" }
+func (s *sink) Demux(m *xkernel.Message) error {
+	if s.err != nil {
+		return s.err
+	}
+	cp := make([]byte, m.Len())
+	copy(cp, m.Bytes())
+	s.got = append(s.got, cp)
+	return nil
+}
+
+func buildFrame(dst, src Addr, etherType uint16, payload []byte) []byte {
+	m := xkernel.NewMessage(HeaderLen, payload)
+	Header{Dst: dst, Src: src, EtherType: etherType}.Encode(m)
+	return m.Bytes()
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	frame := buildFrame(stationA, stationB, EtherTypeIPv4, []byte("data"))
+	if len(frame) != HeaderLen+4 {
+		t.Fatalf("frame length = %d", len(frame))
+	}
+	h, err := DecodeHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dst != stationA || h.Src != stationB || h.EtherType != EtherTypeIPv4 {
+		t.Fatalf("decoded %+v", h)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, HeaderLen-1)); err != xkernel.ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecodeBadFrameControl(t *testing.T) {
+	frame := buildFrame(stationA, stationB, EtherTypeIPv4, nil)
+	frame[0] = 0x00
+	if _, err := DecodeHeader(frame); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDecodeNotSNAP(t *testing.T) {
+	frame := buildFrame(stationA, stationB, EtherTypeIPv4, nil)
+	frame[13] = 0x42
+	if _, err := DecodeHeader(frame); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDemuxDelivers(t *testing.T) {
+	p := New(stationA)
+	up := &sink{}
+	p.RegisterUpper(EtherTypeIPv4, up)
+	frame := buildFrame(stationA, stationB, EtherTypeIPv4, []byte("payload"))
+	if err := p.Demux(xkernel.FromBytes(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 || string(up.got[0]) != "payload" {
+		t.Fatalf("delivered %q", up.got)
+	}
+	if s := p.Stats(); s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxFiltersOtherStation(t *testing.T) {
+	p := New(stationA)
+	up := &sink{}
+	p.RegisterUpper(EtherTypeIPv4, up)
+	frame := buildFrame(stationB, stationA, EtherTypeIPv4, nil)
+	if err := p.Demux(xkernel.FromBytes(frame)); err != xkernel.ErrNotLocal {
+		t.Fatalf("err = %v, want ErrNotLocal", err)
+	}
+	if len(up.got) != 0 {
+		t.Fatal("frame for another station delivered")
+	}
+	if s := p.Stats(); s.NotForUs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxBroadcast(t *testing.T) {
+	p := New(stationA)
+	up := &sink{}
+	p.RegisterUpper(EtherTypeIPv4, up)
+	frame := buildFrame(Broadcast, stationB, EtherTypeIPv4, []byte("bcast"))
+	if err := p.Demux(xkernel.FromBytes(frame)); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 {
+		t.Fatal("broadcast not delivered")
+	}
+}
+
+func TestDemuxPromiscuous(t *testing.T) {
+	p := New(stationA)
+	p.Promiscuous = true
+	up := &sink{}
+	p.RegisterUpper(EtherTypeIPv4, up)
+	frame := buildFrame(stationB, stationA, EtherTypeIPv4, nil)
+	if err := p.Demux(xkernel.FromBytes(frame)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemuxNoUpper(t *testing.T) {
+	p := New(stationA)
+	frame := buildFrame(stationA, stationB, 0x86dd, nil) // IPv6: unbound
+	err := p.Demux(xkernel.FromBytes(frame))
+	if !errors.Is(err, xkernel.ErrNoDemuxMatch) {
+		t.Fatalf("err = %v, want ErrNoDemuxMatch", err)
+	}
+	if s := p.Stats(); s.NoUpper != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxUpperErrorCounted(t *testing.T) {
+	p := New(stationA)
+	upErr := errors.New("transport rejected")
+	p.RegisterUpper(EtherTypeIPv4, &sink{err: upErr})
+	frame := buildFrame(stationA, stationB, EtherTypeIPv4, nil)
+	if err := p.Demux(xkernel.FromBytes(frame)); !errors.Is(err, upErr) {
+		t.Fatalf("err = %v, want wrapped upper error", err)
+	}
+	if s := p.Stats(); s.UpperErrors != 1 || s.Delivered != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxTruncatedFrame(t *testing.T) {
+	p := New(stationA)
+	err := p.Demux(xkernel.FromBytes(make([]byte, 5)))
+	if err != xkernel.ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if s := p.Stats(); s.Malformed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := stationA.String(); got != "02:00:00:00:00:0a" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: encode/decode round-trips any addresses and EtherType.
+func TestPropertyHeaderRoundTrip(t *testing.T) {
+	prop := func(dst, src [6]byte, et uint16, payload []byte) bool {
+		frame := buildFrame(Addr(dst), Addr(src), et, payload)
+		h, err := DecodeHeader(frame)
+		if err != nil {
+			return false
+		}
+		return h.Dst == Addr(dst) && h.Src == Addr(src) && h.EtherType == et
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+package ip
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/xkernel"
+)
+
+var (
+	hostA = MustParse(10, 0, 0, 1)
+	hostB = MustParse(10, 0, 0, 2)
+)
+
+type sink struct {
+	got      [][]byte
+	src, dst Addr
+	err      error
+}
+
+func (s *sink) Name() string { return "sink" }
+func (s *sink) SetPseudoHeader(src, dst Addr) {
+	s.src, s.dst = src, dst
+}
+func (s *sink) Demux(m *xkernel.Message) error {
+	if s.err != nil {
+		return s.err
+	}
+	cp := make([]byte, m.Len())
+	copy(cp, m.Bytes())
+	s.got = append(s.got, cp)
+	return nil
+}
+
+func defaultHeader() Header {
+	return Header{TTL: 64, Proto: ProtoUDP, Src: hostB, Dst: hostA}
+}
+
+// datagram builds a single unfragmented datagram's wire bytes.
+func datagram(h Header, payload []byte) []byte {
+	m := xkernel.NewMessage(HeaderLen, payload)
+	h.Encode(m)
+	return m.Bytes()
+}
+
+func newEndpoint() (*Protocol, *sink) {
+	p := New(hostA)
+	up := &sink{}
+	p.RegisterUpper(ProtoUDP, up)
+	return p, up
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := defaultHeader()
+	h.TOS = 0x10
+	h.ID = 0xbeef
+	wire := datagram(h, []byte("hello"))
+	got, err := DecodeHeader(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != hostB || got.Dst != hostA || got.Proto != ProtoUDP ||
+		got.TTL != 64 || got.TOS != 0x10 || got.ID != 0xbeef {
+		t.Fatalf("decoded %+v", got)
+	}
+	if got.TotalLen != uint16(HeaderLen+5) {
+		t.Fatalf("TotalLen = %d", got.TotalLen)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	wire := datagram(defaultHeader(), []byte("hello"))
+	for i := 0; i < HeaderLen; i++ {
+		bad := append([]byte{}, wire...)
+		bad[i] ^= 0xff
+		if _, err := DecodeHeader(bad); err == nil {
+			// Flipping any header byte must break the checksum (or
+			// another validity check).
+			t.Errorf("corruption at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeChecksumError(t *testing.T) {
+	wire := datagram(defaultHeader(), nil)
+	wire[10] ^= 0x55 // corrupt checksum field directly
+	_, err := DecodeHeader(wire)
+	if !errors.Is(err, xkernel.ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDecodeWrongVersion(t *testing.T) {
+	wire := datagram(defaultHeader(), nil)
+	wire[0] = 0x65 // version 6
+	if _, err := DecodeHeader(wire); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDecodeHeaderWithOptions(t *testing.T) {
+	// Hand-build a 24-byte header (IHL=6) with one 4-byte option.
+	b := make([]byte, 24)
+	b[0] = 0x46
+	b[2], b[3] = 0, 24
+	b[8] = 64
+	b[9] = ProtoUDP
+	copy(b[12:16], hostB[:])
+	copy(b[16:20], hostA[:])
+	b[20] = 0x01 // NOP options
+	cs := xkernel.Checksum(0, b[:24])
+	b[10], b[11] = byte(cs>>8), byte(cs)
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HeaderBytes() != 24 {
+		t.Fatalf("HeaderBytes = %d, want 24", h.HeaderBytes())
+	}
+}
+
+func TestDemuxDelivers(t *testing.T) {
+	p, up := newEndpoint()
+	if err := p.Demux(xkernel.FromBytes(datagram(defaultHeader(), []byte("data")))); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 || string(up.got[0]) != "data" {
+		t.Fatalf("delivered %q", up.got)
+	}
+	if up.src != hostB || up.dst != hostA {
+		t.Fatal("pseudo-header not set on transport")
+	}
+	if s := p.Stats(); s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxStripsLinkPadding(t *testing.T) {
+	p, up := newEndpoint()
+	wire := datagram(defaultHeader(), []byte("data"))
+	padded := append(wire, make([]byte, 10)...) // link-layer padding
+	if err := p.Demux(xkernel.FromBytes(padded)); err != nil {
+		t.Fatal(err)
+	}
+	if string(up.got[0]) != "data" {
+		t.Fatalf("padding leaked: %q", up.got[0])
+	}
+}
+
+func TestDemuxNotLocal(t *testing.T) {
+	p, _ := newEndpoint()
+	h := defaultHeader()
+	h.Dst = MustParse(192, 168, 1, 1)
+	if err := p.Demux(xkernel.FromBytes(datagram(h, nil))); err != xkernel.ErrNotLocal {
+		t.Fatalf("err = %v, want ErrNotLocal", err)
+	}
+	if s := p.Stats(); s.NotLocal != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxTTLExpired(t *testing.T) {
+	p, _ := newEndpoint()
+	h := defaultHeader()
+	h.TTL = 0
+	if err := p.Demux(xkernel.FromBytes(datagram(h, nil))); err != xkernel.ErrTTLExpired {
+		t.Fatalf("err = %v, want ErrTTLExpired", err)
+	}
+}
+
+func TestDemuxNoUpper(t *testing.T) {
+	p, _ := newEndpoint()
+	h := defaultHeader()
+	h.Proto = 6 // TCP: unbound
+	err := p.Demux(xkernel.FromBytes(datagram(h, nil)))
+	if !errors.Is(err, xkernel.ErrNoDemuxMatch) {
+		t.Fatalf("err = %v, want ErrNoDemuxMatch", err)
+	}
+}
+
+func TestDemuxTotalLenBeyondFrame(t *testing.T) {
+	p, _ := newEndpoint()
+	wire := datagram(defaultHeader(), []byte("abcdef"))
+	// Re-encode with a lying TotalLen: hand-patch and re-checksum.
+	wire[2], wire[3] = 0x40, 0x00
+	wire[10], wire[11] = 0, 0
+	cs := xkernel.Checksum(0, wire[:HeaderLen])
+	wire[10], wire[11] = byte(cs>>8), byte(cs)
+	if err := p.Demux(xkernel.FromBytes(wire)); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestFragmentSingleWhenFits(t *testing.T) {
+	frags := Fragment(defaultHeader(), make([]byte, 100), 1500, 0)
+	if len(frags) != 1 {
+		t.Fatalf("fragments = %d, want 1", len(frags))
+	}
+	h, err := DecodeHeader(frags[0].Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MoreFrag || h.FragOff != 0 {
+		t.Fatalf("unfragmented datagram has frag fields: %+v", h)
+	}
+}
+
+func TestFragmentOffsetsAligned(t *testing.T) {
+	frags := Fragment(defaultHeader(), make([]byte, 5000), 1500, 0)
+	if len(frags) < 4 {
+		t.Fatalf("fragments = %d, want ≥4", len(frags))
+	}
+	for i, f := range frags {
+		h, err := DecodeHeader(f.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.FragOff%8 != 0 {
+			t.Fatalf("fragment %d offset %d not 8-aligned", i, h.FragOff)
+		}
+		wantMF := i < len(frags)-1
+		if h.MoreFrag != wantMF {
+			t.Fatalf("fragment %d MF = %v, want %v", i, h.MoreFrag, wantMF)
+		}
+		if int(h.TotalLen) > 1500 {
+			t.Fatalf("fragment %d exceeds mtu: %d", i, h.TotalLen)
+		}
+	}
+}
+
+func reassembleVia(p *Protocol, frags []*xkernel.Message, perm []int) error {
+	for _, i := range perm {
+		if err := p.Demux(xkernel.FromBytes(frags[i].Bytes())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func TestReassemblyInOrder(t *testing.T) {
+	p, up := newEndpoint()
+	payload := make([]byte, 4000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	frags := Fragment(defaultHeader(), payload, 1500, 0)
+	if err := reassembleVia(p, frags, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 || !bytes.Equal(up.got[0], payload) {
+		t.Fatal("reassembled payload differs")
+	}
+	if s := p.Stats(); s.Reassembled != 1 || s.Fragments != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if p.PendingReassemblies() != 0 {
+		t.Fatal("bucket not freed after completion")
+	}
+}
+
+func TestReassemblyOutOfOrder(t *testing.T) {
+	p, up := newEndpoint()
+	payload := make([]byte, 4000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	frags := Fragment(defaultHeader(), payload, 1500, 0)
+	if err := reassembleVia(p, frags, []int{2, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 || !bytes.Equal(up.got[0], payload) {
+		t.Fatal("out-of-order reassembly failed")
+	}
+}
+
+func TestReassemblyDuplicateFragment(t *testing.T) {
+	p, up := newEndpoint()
+	payload := make([]byte, 2000) // two fragments at a 1500 MTU
+	frags := Fragment(defaultHeader(), payload, 1500, 0)
+	if err := reassembleVia(p, frags, []int{0, 0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 1 {
+		t.Fatalf("delivered %d datagrams, want 1", len(up.got))
+	}
+}
+
+func TestReassemblyHoleHolds(t *testing.T) {
+	p, up := newEndpoint()
+	frags := Fragment(defaultHeader(), make([]byte, 4000), 1500, 0)
+	if err := reassembleVia(p, frags, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 0 {
+		t.Fatal("incomplete datagram delivered")
+	}
+	if p.PendingReassemblies() != 1 {
+		t.Fatalf("pending = %d, want 1", p.PendingReassemblies())
+	}
+}
+
+func TestReassemblyInterleavedDatagrams(t *testing.T) {
+	p, up := newEndpoint()
+	h1, h2 := defaultHeader(), defaultHeader()
+	h1.ID, h2.ID = 1, 2
+	pay1, pay2 := bytes.Repeat([]byte{0xaa}, 2000), bytes.Repeat([]byte{0xbb}, 2000)
+	f1 := Fragment(h1, pay1, 1500, 0)
+	f2 := Fragment(h2, pay2, 1500, 0)
+	for _, m := range []*xkernel.Message{f1[0], f2[0], f2[1], f1[1]} {
+		if err := p.Demux(xkernel.FromBytes(m.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(up.got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(up.got))
+	}
+	if !bytes.Equal(up.got[0], pay2) || !bytes.Equal(up.got[1], pay1) {
+		t.Fatal("interleaved reassembly mixed payloads")
+	}
+}
+
+func TestReassemblyExpiry(t *testing.T) {
+	p, up := newEndpoint()
+	p.ReasmTimeout = 3
+	frags := Fragment(defaultHeader(), make([]byte, 4000), 1500, 0)
+	if err := p.Demux(xkernel.FromBytes(frags[0].Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p.Tick()
+	}
+	if p.PendingReassemblies() != 0 {
+		t.Fatal("expired bucket not dropped")
+	}
+	if s := p.Stats(); s.ReasmExpired != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Remaining fragments arrive too late: a fresh bucket forms but the
+	// datagram never completes.
+	if err := reassembleVia(p, frags, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(up.got) != 0 {
+		t.Fatal("late fragments completed a datagram")
+	}
+}
+
+func TestFragmentTinyMTUPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unusable mtu")
+		}
+	}()
+	Fragment(defaultHeader(), make([]byte, 100), HeaderLen, 0)
+}
+
+// Property: fragment at a random (valid) MTU, deliver in random order,
+// and the reassembled payload matches the original.
+func TestPropertyFragmentReassembleRoundTrip(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16, mtuRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 1 + int(sizeRaw)%6000
+		mtu := 64 + int(mtuRaw)%2000
+		payload := make([]byte, size)
+		r.Read(payload)
+		h := defaultHeader()
+		h.ID = uint16(seed)
+		frags := Fragment(h, payload, mtu, 0)
+		p, up := newEndpoint()
+		for _, i := range r.Perm(len(frags)) {
+			if err := p.Demux(xkernel.FromBytes(frags[i].Bytes())); err != nil {
+				return false
+			}
+		}
+		return len(up.got) == 1 && bytes.Equal(up.got[0], payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := hostA.String(); got != "10.0.0.1" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,206 @@
+package xkernel
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageSendSide(t *testing.T) {
+	m := NewMessage(10, []byte("payload"))
+	if m.Len() != 7 {
+		t.Fatalf("Len = %d, want 7", m.Len())
+	}
+	h := m.Push(3)
+	copy(h, "hdr")
+	if m.Len() != 10 {
+		t.Fatalf("Len after push = %d, want 10", m.Len())
+	}
+	if string(m.Bytes()) != "hdrpayload" {
+		t.Fatalf("Bytes = %q", m.Bytes())
+	}
+}
+
+func TestMessageReceiveSide(t *testing.T) {
+	m := FromBytes([]byte("hdrpayload"))
+	h, err := m.Pop(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(h) != "hdr" {
+		t.Fatalf("Pop = %q, want hdr", h)
+	}
+	if string(m.Bytes()) != "payload" {
+		t.Fatalf("remaining = %q", m.Bytes())
+	}
+}
+
+func TestMessagePopTruncated(t *testing.T) {
+	m := FromBytes([]byte("ab"))
+	if _, err := m.Pop(3); err != ErrTruncated {
+		t.Fatalf("Pop(3) err = %v, want ErrTruncated", err)
+	}
+	// A failed pop must not consume anything.
+	if m.Len() != 2 {
+		t.Fatalf("Len after failed pop = %d, want 2", m.Len())
+	}
+}
+
+func TestMessagePeekDoesNotConsume(t *testing.T) {
+	m := FromBytes([]byte("abcdef"))
+	p, err := m.Peek(3)
+	if err != nil || string(p) != "abc" {
+		t.Fatalf("Peek = %q, %v", p, err)
+	}
+	if m.Len() != 6 {
+		t.Fatal("Peek consumed bytes")
+	}
+	if _, err := m.Peek(7); err != ErrTruncated {
+		t.Fatalf("oversized Peek err = %v", err)
+	}
+}
+
+func TestMessagePushExhaustedPanics(t *testing.T) {
+	m := NewMessage(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic pushing past headroom")
+		}
+	}()
+	m.Push(3)
+}
+
+func TestMessageTruncate(t *testing.T) {
+	m := FromBytes([]byte("abcdef"))
+	m.Truncate(4)
+	if string(m.Bytes()) != "abcd" {
+		t.Fatalf("after Truncate: %q", m.Bytes())
+	}
+	m.Truncate(10) // no-op when longer than view
+	if m.Len() != 4 {
+		t.Fatal("growing Truncate changed length")
+	}
+}
+
+func TestMessageClone(t *testing.T) {
+	m := FromBytes([]byte("hdrdata"))
+	if _, err := m.Pop(3); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone(5)
+	c.Push(2)
+	if string(m.Bytes()) != "data" {
+		t.Fatal("clone shares state with original")
+	}
+	c2 := m.Clone(0)
+	b := c2.Bytes()
+	b[0] = 'X'
+	if string(m.Bytes()) != "data" {
+		t.Fatal("clone aliases original buffer")
+	}
+}
+
+func TestMessagePushPopRoundTrip(t *testing.T) {
+	payload := []byte("the quick brown fox")
+	m := NewMessage(30, payload)
+	copy(m.Push(4), "udp!")
+	copy(m.Push(20), "ip-header-20-bytes!!")
+	// Receive side: wrap the wire bytes and strip.
+	r := FromBytes(m.Bytes())
+	if _, err := r.Pop(20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Pop(4); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r.Bytes(), payload) {
+		t.Fatalf("round trip payload = %q", r.Bytes())
+	}
+}
+
+func TestChecksumRFC1071Vector(t *testing.T) {
+	// The worked example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(0, data); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Trailing byte is padded with zero on the right.
+	if got, want := Checksum(0, []byte{0xab}), ^uint16(0xab00); got != want {
+		t.Fatalf("odd Checksum = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if got := Checksum(0, nil); got != 0xffff {
+		t.Fatalf("Checksum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+// Property: appending a block's checksum makes the whole verify to zero —
+// the invariant every receive path relies on.
+func TestPropertyChecksumVerifiesToZero(t *testing.T) {
+	prop := func(data []byte) bool {
+		if len(data)%2 != 0 {
+			data = append(data, 0)
+		}
+		cs := Checksum(0, data)
+		whole := append(append([]byte{}, data...), byte(cs>>8), byte(cs))
+		return Checksum(0, whole) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PartialSum composes — summing in two chunks at an even
+// boundary equals summing at once.
+func TestPropertyPartialSumComposes(t *testing.T) {
+	prop := func(a, b []byte) bool {
+		if len(a)%2 != 0 {
+			a = append(a, 0)
+		}
+		split := PartialSum(PartialSum(0, a), b)
+		joined := PartialSum(0, append(append([]byte{}, a...), b...))
+		// Fold both before comparing (sums may differ in carries).
+		fold := func(s uint32) uint16 {
+			for s>>16 != 0 {
+				s = s&0xffff + s>>16
+			}
+			return uint16(s)
+		}
+		return fold(split) == fold(joined)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeArgumentsPanic(t *testing.T) {
+	cases := []func(){
+		func() { NewMessage(-1, nil) },
+		func() { FromBytes([]byte("x")).Push(-1) },
+		func() { FromBytes([]byte("x")).Truncate(-1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+	// Pop(-1) also panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pop(-1): no panic")
+			}
+		}()
+		_, _ = FromBytes([]byte("x")).Pop(-1)
+	}()
+}

@@ -1,0 +1,402 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/xkernel"
+	"affinity/internal/xkernel/ip"
+)
+
+var (
+	serverAddr = ip.MustParse(10, 0, 0, 1)
+	clientAddr = ip.MustParse(10, 0, 0, 2)
+)
+
+// host bundles a TCP endpoint with captured outbound segments and
+// delivered application bytes.
+type host struct {
+	tcp  *Protocol
+	out  []Segment
+	data bytes.Buffer
+}
+
+func newHost(t *testing.T, port uint16) *host {
+	t.Helper()
+	h := &host{}
+	h.tcp = New(serverAddr, func(s Segment) { h.out = append(h.out, s) })
+	if err := h.tcp.Listen(port, func(_ *Conn, d []byte) { h.data.Write(d) }); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// client builds and injects segments toward the server.
+type client struct {
+	t    *testing.T
+	h    *host
+	port uint16 // server port
+	seq  uint32
+	ack  uint32
+}
+
+func (c *client) inject(hdr Header, payload []byte) error {
+	m := xkernel.NewMessage(HeaderLen, payload)
+	hdr.SrcPort, hdr.DstPort = 4000, c.port
+	hdr.Encode(m, clientAddr, serverAddr)
+	c.h.tcp.SetPseudoHeader(clientAddr, serverAddr)
+	return c.h.tcp.Demux(xkernel.FromBytes(m.Bytes()))
+}
+
+// handshake completes the three-way handshake and returns the client.
+func handshake(t *testing.T, h *host, port uint16) *client {
+	t.Helper()
+	c := &client{t: t, h: h, port: port, seq: 100}
+	if err := c.inject(Header{Seq: c.seq, Flags: FlagSYN, Window: 65535}, nil); err != nil {
+		t.Fatalf("SYN: %v", err)
+	}
+	if len(h.out) != 1 {
+		t.Fatalf("expected SYN-ACK, got %d segments", len(h.out))
+	}
+	synAck := h.out[0].Hdr
+	if synAck.Flags != FlagSYN|FlagACK {
+		t.Fatalf("reply flags %#x, want SYN|ACK", synAck.Flags)
+	}
+	if synAck.Ack != c.seq+1 {
+		t.Fatalf("SYN-ACK acks %d, want %d", synAck.Ack, c.seq+1)
+	}
+	c.seq++
+	c.ack = synAck.Seq + 1
+	if err := c.inject(Header{Seq: c.seq, Ack: c.ack, Flags: FlagACK}, nil); err != nil {
+		t.Fatalf("handshake ACK: %v", err)
+	}
+	conn, ok := h.tcp.Conn(clientAddr, 4000, port)
+	if !ok || conn.State() != Established {
+		t.Fatalf("connection not established: %v %v", ok, conn)
+	}
+	return c
+}
+
+// send transmits an in-order data segment.
+func (c *client) send(payload []byte) error {
+	err := c.inject(Header{Seq: c.seq, Ack: c.ack, Flags: FlagACK | FlagPSH}, payload)
+	c.seq += uint32(len(payload))
+	return err
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	m := xkernel.NewMessage(HeaderLen, []byte("data"))
+	Header{
+		SrcPort: 1, DstPort: 2, Seq: 0xdeadbeef, Ack: 0xfeedface,
+		Flags: FlagACK | FlagPSH, Window: 4096,
+	}.Encode(m, clientAddr, serverAddr)
+	h, err := DecodeHeader(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seq != 0xdeadbeef || h.Ack != 0xfeedface || h.DataOff != HeaderLen {
+		t.Fatalf("decoded %+v", h)
+	}
+	if h.Flags != FlagACK|FlagPSH || h.Window != 4096 {
+		t.Fatalf("decoded %+v", h)
+	}
+	// The encoded checksum must verify over the pseudo-header.
+	sum := pseudoSum(clientAddr, serverAddr, uint16(HeaderLen+4))
+	if xkernel.Checksum(sum, m.Bytes()) != 0 {
+		t.Fatal("checksum does not verify")
+	}
+}
+
+func TestDecodeMSSOption(t *testing.T) {
+	// Hand-build a 24-byte header with an MSS option.
+	b := make([]byte, 24)
+	b[12] = 6 << 4 // data offset 24
+	b[20], b[21], b[22], b[23] = 2, 4, 0x05, 0xb4
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MSS != 1460 {
+		t.Fatalf("MSS = %d, want 1460", h.MSS)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, 19)); err != xkernel.ErrTruncated {
+		t.Fatalf("short header err = %v", err)
+	}
+	b := make([]byte, 20)
+	b[12] = 4 << 4 // data offset below minimum
+	if _, err := DecodeHeader(b); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("bad offset err = %v", err)
+	}
+	b = make([]byte, 24)
+	b[12] = 6 << 4
+	b[20], b[21] = 2, 0 // malformed option length
+	if _, err := DecodeHeader(b); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("bad option err = %v", err)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	h := newHost(t, 80)
+	handshake(t, h, 80)
+	if s := h.tcp.Stats(); s.Handshakes != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInOrderDataUsesFastPath(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	for i := 0; i < 5; i++ {
+		if err := c.send([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.data.String(); got != "hellohellohellohellohello" {
+		t.Fatalf("delivered %q", got)
+	}
+	if s := h.tcp.Stats(); s.FastPath != 5 {
+		t.Fatalf("FastPath = %d, want 5 (stats %+v)", s.FastPath, s)
+	}
+	// Every data segment is ACKed with the advancing rcvNxt.
+	last := h.out[len(h.out)-1].Hdr
+	if last.Flags != FlagACK || last.Ack != c.seq {
+		t.Fatalf("last ACK %+v, want ack=%d", last, c.seq)
+	}
+}
+
+func TestOutOfOrderReassembly(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	base := c.seq
+	// Send segment 2 before segment 1.
+	if err := c.inject(Header{Seq: base + 4, Ack: c.ack, Flags: FlagACK}, []byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	if h.data.Len() != 0 {
+		t.Fatal("out-of-order data delivered early")
+	}
+	conn, _ := h.tcp.Conn(clientAddr, 4000, 80)
+	if conn.PendingOOO() != 1 {
+		t.Fatalf("PendingOOO = %d", conn.PendingOOO())
+	}
+	if err := c.inject(Header{Seq: base, Ack: c.ack, Flags: FlagACK}, []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.data.String(); got != "AAAABBBB" {
+		t.Fatalf("delivered %q, want AAAABBBB", got)
+	}
+	if conn.PendingOOO() != 0 {
+		t.Fatal("OOO queue not drained")
+	}
+	if s := h.tcp.Stats(); s.OutOfOrder != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDuplicateDataReACKed(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	if err := c.send([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	before := len(h.out)
+	// Retransmit the same segment (seq already advanced; rewind).
+	if err := c.inject(Header{Seq: c.seq - 4, Ack: c.ack, Flags: FlagACK}, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if h.data.String() != "data" {
+		t.Fatalf("duplicate delivered twice: %q", h.data.String())
+	}
+	if len(h.out) != before+1 || h.out[len(h.out)-1].Hdr.Flags != FlagACK {
+		t.Fatal("duplicate not re-ACKed")
+	}
+	if s := h.tcp.Stats(); s.Duplicates != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestOverlappingSegmentTrimmed(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	if err := c.send([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	// Segment covering [seq-2, seq+2): old "cd" + new "EF".
+	if err := c.inject(Header{Seq: c.seq - 2, Ack: c.ack, Flags: FlagACK}, []byte("cdEF")); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.data.String(); got != "abcdEF" {
+		t.Fatalf("delivered %q, want abcdEF", got)
+	}
+}
+
+func TestDuplicateSYNRetransmitsSynAck(t *testing.T) {
+	h := newHost(t, 80)
+	c := &client{t: t, h: h, port: 80, seq: 100}
+	if err := c.inject(Header{Seq: 100, Flags: FlagSYN}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.inject(Header{Seq: 100, Flags: FlagSYN}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.out) != 2 {
+		t.Fatalf("expected 2 SYN-ACKs, got %d", len(h.out))
+	}
+	if h.out[0].Hdr.Seq != h.out[1].Hdr.Seq {
+		t.Fatal("retransmitted SYN-ACK changed its sequence number")
+	}
+}
+
+func TestRSTTearsDown(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	if err := c.inject(Header{Seq: c.seq, Ack: c.ack, Flags: FlagRST}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := h.tcp.Conn(clientAddr, 4000, 80); ok {
+		t.Fatal("connection survived RST")
+	}
+	if s := h.tcp.Stats(); s.Resets != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestFINMovesToCloseWait(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	if err := c.send([]byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.inject(Header{Seq: c.seq, Ack: c.ack, Flags: FlagACK | FlagFIN}, nil); err != nil {
+		t.Fatal(err)
+	}
+	conn, ok := h.tcp.Conn(clientAddr, 4000, 80)
+	if !ok || conn.State() != CloseWait {
+		t.Fatalf("state = %v, want CLOSE_WAIT", conn.State())
+	}
+	// The FIN is ACKed one past the data.
+	last := h.out[len(h.out)-1].Hdr
+	if last.Ack != c.seq+1 {
+		t.Fatalf("FIN ack = %d, want %d", last.Ack, c.seq+1)
+	}
+}
+
+func TestChecksumRejected(t *testing.T) {
+	h := newHost(t, 80)
+	c := handshake(t, h, 80)
+	m := xkernel.NewMessage(HeaderLen, []byte("data"))
+	Header{SrcPort: 4000, DstPort: 80, Seq: c.seq, Ack: c.ack, Flags: FlagACK}.
+		Encode(m, clientAddr, serverAddr)
+	frame := m.Bytes()
+	frame[len(frame)-1] ^= 0xff
+	h.tcp.SetPseudoHeader(clientAddr, serverAddr)
+	if err := h.tcp.Demux(xkernel.FromBytes(frame)); !errors.Is(err, xkernel.ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+	if h.data.Len() != 0 {
+		t.Fatal("corrupt data delivered")
+	}
+}
+
+func TestNoListenerRejected(t *testing.T) {
+	h := newHost(t, 80)
+	c := &client{t: t, h: h, port: 81, seq: 1} // port 81 not listening
+	err := c.inject(Header{Seq: 1, Flags: FlagSYN}, nil)
+	if !errors.Is(err, xkernel.ErrNoDemuxMatch) {
+		t.Fatalf("err = %v, want ErrNoDemuxMatch", err)
+	}
+}
+
+func TestDoubleListenRejected(t *testing.T) {
+	h := newHost(t, 80)
+	if err := h.tcp.Listen(80, nil); err == nil {
+		t.Fatal("double listen allowed")
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		Listen: "LISTEN", SynReceived: "SYN_RECEIVED",
+		Established: "ESTABLISHED", CloseWait: "CLOSE_WAIT", Closed: "CLOSED",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	if State(99).String() == "" {
+		t.Fatal("unknown state empty string")
+	}
+}
+
+func TestSeqCompareWraps(t *testing.T) {
+	if !seqLT(0xffffffff, 1) {
+		t.Fatal("wrap-around comparison broken")
+	}
+	if !seqLEQ(5, 5) || seqLT(5, 5) {
+		t.Fatal("equality comparison broken")
+	}
+}
+
+// Property: any segmentation of a byte stream, delivered in any order,
+// reassembles to exactly the original bytes.
+func TestPropertyStreamReassembly(t *testing.T) {
+	prop := func(seed int64, sizeRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := 1 + int(sizeRaw)%4096
+		stream := make([]byte, size)
+		r.Read(stream)
+
+		h := &host{}
+		h.tcp = New(serverAddr, func(s Segment) { h.out = append(h.out, s) })
+		if err := h.tcp.Listen(80, func(_ *Conn, d []byte) { h.data.Write(d) }); err != nil {
+			return false
+		}
+		c := &client{h: h, port: 80, seq: uint32(r.Int63())}
+		if c.inject(Header{Seq: c.seq, Flags: FlagSYN}, nil) != nil {
+			return false
+		}
+		c.seq++
+		c.ack = h.out[0].Hdr.Seq + 1
+		if c.inject(Header{Seq: c.seq, Ack: c.ack, Flags: FlagACK}, nil) != nil {
+			return false
+		}
+
+		// Random segmentation.
+		type seg struct {
+			off int
+			end int
+		}
+		var segs []seg
+		for off := 0; off < size; {
+			n := 1 + r.Intn(512)
+			if off+n > size {
+				n = size - off
+			}
+			segs = append(segs, seg{off, off + n})
+			off += n
+		}
+		// Random delivery order, each segment twice (duplicates must be
+		// harmless).
+		order := append(r.Perm(len(segs)), r.Perm(len(segs))...)
+		base := c.seq
+		for _, i := range order {
+			s := segs[i]
+			err := c.inject(Header{
+				Seq: base + uint32(s.off), Ack: c.ack, Flags: FlagACK,
+			}, stream[s.off:s.end])
+			if err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(h.data.Bytes(), stream)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package udp implements the UDP layer: header encode/decode, optional
+// checksum with the IPv4 pseudo-header, and port demultiplexing to bound
+// sessions — the top of the paper's receive-side fast path.
+package udp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"affinity/internal/xkernel"
+	"affinity/internal/xkernel/ip"
+)
+
+// HeaderLen is the UDP header length.
+const HeaderLen = 8
+
+// Header is a decoded UDP header.
+type Header struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// Encode prepends a UDP header to a send-side message holding the
+// payload. If src and dst are non-zero addresses, the checksum is
+// computed over the pseudo-header and payload; otherwise it is left 0
+// (checksum disabled, as permitted for UDP over IPv4).
+func Encode(m *xkernel.Message, srcPort, dstPort uint16, src, dst ip.Addr, withChecksum bool) {
+	length := m.Len() + HeaderLen
+	b := m.Push(HeaderLen)
+	binary.BigEndian.PutUint16(b[0:2], srcPort)
+	binary.BigEndian.PutUint16(b[2:4], dstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(length))
+	b[6], b[7] = 0, 0
+	if withChecksum {
+		sum := pseudoSum(src, dst, uint16(length))
+		cs := xkernel.Checksum(sum, m.Bytes())
+		if cs == 0 {
+			cs = 0xffff // 0 means "no checksum"; transmit all-ones instead
+		}
+		binary.BigEndian.PutUint16(b[6:8], cs)
+	}
+}
+
+// DecodeHeader parses a UDP header.
+func DecodeHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < HeaderLen {
+		return h, xkernel.ErrTruncated
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if int(h.Length) < HeaderLen {
+		return h, fmt.Errorf("%w: udp length %d", xkernel.ErrBadHeader, h.Length)
+	}
+	return h, nil
+}
+
+func pseudoSum(src, dst ip.Addr, udpLen uint16) uint32 {
+	sum := xkernel.PartialSum(0, src[:])
+	sum = xkernel.PartialSum(sum, dst[:])
+	return sum + uint32(ip.ProtoUDP) + uint32(udpLen)
+}
+
+// Datagram describes a delivered UDP datagram.
+type Datagram struct {
+	Src, Dst         ip.Addr
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// Handler consumes datagrams delivered to a bound port.
+type Handler func(Datagram)
+
+// Session is the per-port endpoint state: the x-kernel session object a
+// passive open (bind) creates.
+type Session struct {
+	Port      uint16
+	handler   Handler
+	Packets   uint64
+	Bytes     uint64
+	ChecksumE uint64 // datagrams dropped for bad checksum
+}
+
+// Stats counts protocol-level outcomes.
+type Stats struct {
+	Delivered   uint64
+	NoPort      uint64
+	BadChecksum uint64
+	BadHeader   uint64
+}
+
+// Protocol is the receive-side UDP layer.
+type Protocol struct {
+	// VerifyChecksum enables checksum verification of incoming
+	// datagrams that carry one.
+	VerifyChecksum bool
+
+	sessions map[uint16]*Session
+	stats    Stats
+
+	// pseudo-header context for the datagram being demuxed; set by the
+	// IP adapter before calling Demux.
+	curSrc, curDst ip.Addr
+}
+
+// New returns a UDP endpoint with checksum verification enabled.
+func New() *Protocol {
+	return &Protocol{VerifyChecksum: true, sessions: make(map[uint16]*Session)}
+}
+
+// Name implements xkernel.Protocol.
+func (p *Protocol) Name() string { return "udp" }
+
+// Bind creates a session for a local port. Binding an already-bound port
+// returns an error, matching x-kernel open-enable semantics.
+func (p *Protocol) Bind(port uint16, h Handler) (*Session, error) {
+	if _, taken := p.sessions[port]; taken {
+		return nil, fmt.Errorf("udp: port %d already bound", port)
+	}
+	s := &Session{Port: port, handler: h}
+	p.sessions[port] = s
+	return s, nil
+}
+
+// Unbind removes a port binding.
+func (p *Protocol) Unbind(port uint16) { delete(p.sessions, port) }
+
+// Stats returns a copy of the counters.
+func (p *Protocol) Stats() Stats { return p.stats }
+
+// SetPseudoHeader supplies the addresses of the enclosing IP datagram,
+// needed for checksum verification and for the Datagram passed up.
+func (p *Protocol) SetPseudoHeader(src, dst ip.Addr) {
+	p.curSrc, p.curDst = src, dst
+}
+
+// Demux strips the UDP header, verifies the checksum if present, and
+// delivers the payload to the session bound to the destination port.
+func (p *Protocol) Demux(m *xkernel.Message) error {
+	raw, err := m.Peek(HeaderLen)
+	if err != nil {
+		p.stats.BadHeader++
+		return err
+	}
+	h, err := DecodeHeader(raw)
+	if err != nil {
+		p.stats.BadHeader++
+		return err
+	}
+	if int(h.Length) > m.Len() {
+		p.stats.BadHeader++
+		return fmt.Errorf("%w: udp length %d exceeds datagram %d", xkernel.ErrBadHeader, h.Length, m.Len())
+	}
+	m.Truncate(int(h.Length))
+	s, ok := p.sessions[h.DstPort]
+	if !ok {
+		p.stats.NoPort++
+		return fmt.Errorf("%w: udp port %d", xkernel.ErrNoDemuxMatch, h.DstPort)
+	}
+	if p.VerifyChecksum && h.Checksum != 0 {
+		sum := pseudoSum(p.curSrc, p.curDst, h.Length)
+		if xkernel.Checksum(sum, m.Bytes()) != 0 {
+			p.stats.BadChecksum++
+			s.ChecksumE++
+			return fmt.Errorf("%w: udp", xkernel.ErrBadChecksum)
+		}
+	}
+	if _, err := m.Pop(HeaderLen); err != nil {
+		p.stats.BadHeader++
+		return err
+	}
+	s.Packets++
+	s.Bytes += uint64(m.Len())
+	if s.handler != nil {
+		s.handler(Datagram{
+			Src: p.curSrc, Dst: p.curDst,
+			SrcPort: h.SrcPort, DstPort: h.DstPort,
+			Payload: m.Bytes(),
+		})
+	}
+	p.stats.Delivered++
+	return nil
+}

@@ -1,0 +1,264 @@
+package udp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"affinity/internal/xkernel"
+	"affinity/internal/xkernel/ip"
+)
+
+var (
+	srcAddr = ip.MustParse(10, 0, 0, 2)
+	dstAddr = ip.MustParse(10, 0, 0, 1)
+)
+
+// wire builds the UDP wire bytes for a payload.
+func wire(srcPort, dstPort uint16, payload []byte, checksum bool) []byte {
+	m := xkernel.NewMessage(HeaderLen, payload)
+	Encode(m, srcPort, dstPort, srcAddr, dstAddr, checksum)
+	return m.Bytes()
+}
+
+func newBound(t *testing.T, port uint16) (*Protocol, *[]Datagram) {
+	t.Helper()
+	p := New()
+	var got []Datagram
+	if _, err := p.Bind(port, func(d Datagram) {
+		d.Payload = append([]byte{}, d.Payload...)
+		got = append(got, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPseudoHeader(srcAddr, dstAddr)
+	return p, &got
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	b := wire(1234, 5678, []byte("hello"), true)
+	h, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 1234 || h.DstPort != 5678 {
+		t.Fatalf("ports = %d→%d", h.SrcPort, h.DstPort)
+	}
+	if h.Length != uint16(HeaderLen+5) {
+		t.Fatalf("Length = %d", h.Length)
+	}
+	if h.Checksum == 0 {
+		t.Fatal("checksum requested but zero")
+	}
+}
+
+func TestEncodeWithoutChecksum(t *testing.T) {
+	b := wire(1, 2, []byte("x"), false)
+	h, _ := DecodeHeader(b)
+	if h.Checksum != 0 {
+		t.Fatalf("Checksum = %#x, want 0 (disabled)", h.Checksum)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, 7)); err != xkernel.ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeBadLength(t *testing.T) {
+	b := wire(1, 2, nil, false)
+	b[4], b[5] = 0, 3 // below header length
+	if _, err := DecodeHeader(b); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDemuxDelivers(t *testing.T) {
+	p, got := newBound(t, 5678)
+	if err := p.Demux(xkernel.FromBytes(wire(1234, 5678, []byte("payload"), true))); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d", len(*got))
+	}
+	d := (*got)[0]
+	if string(d.Payload) != "payload" || d.SrcPort != 1234 || d.DstPort != 5678 {
+		t.Fatalf("datagram %+v", d)
+	}
+	if d.Src != srcAddr || d.Dst != dstAddr {
+		t.Fatal("addresses not propagated")
+	}
+	if s := p.Stats(); s.Delivered != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxChecksumVerified(t *testing.T) {
+	p, got := newBound(t, 9)
+	b := wire(1, 9, []byte("data!"), true)
+	b[HeaderLen] ^= 0xff // corrupt payload
+	err := p.Demux(xkernel.FromBytes(b))
+	if !errors.Is(err, xkernel.ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+	if len(*got) != 0 {
+		t.Fatal("corrupt datagram delivered")
+	}
+	if s := p.Stats(); s.BadChecksum != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxZeroChecksumSkipsVerification(t *testing.T) {
+	p, got := newBound(t, 9)
+	b := wire(1, 9, []byte("data!"), false)
+	b[HeaderLen] ^= 0xff // corrupt payload; no checksum to catch it
+	if err := p.Demux(xkernel.FromBytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatal("datagram without checksum dropped")
+	}
+}
+
+func TestDemuxVerificationDisabled(t *testing.T) {
+	p, got := newBound(t, 9)
+	p.VerifyChecksum = false
+	b := wire(1, 9, []byte("data!"), true)
+	b[HeaderLen] ^= 0xff
+	if err := p.Demux(xkernel.FromBytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 {
+		t.Fatal("datagram dropped despite disabled verification")
+	}
+}
+
+func TestDemuxWrongPseudoHeaderFailsChecksum(t *testing.T) {
+	p, _ := newBound(t, 9)
+	p.SetPseudoHeader(srcAddr, ip.MustParse(1, 2, 3, 4)) // checksum was built for dstAddr
+	err := p.Demux(xkernel.FromBytes(wire(1, 9, []byte("data!"), true)))
+	if !errors.Is(err, xkernel.ErrBadChecksum) {
+		t.Fatalf("err = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestDemuxNoPort(t *testing.T) {
+	p, _ := newBound(t, 9)
+	err := p.Demux(xkernel.FromBytes(wire(1, 10, nil, false)))
+	if !errors.Is(err, xkernel.ErrNoDemuxMatch) {
+		t.Fatalf("err = %v, want ErrNoDemuxMatch", err)
+	}
+	if s := p.Stats(); s.NoPort != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDemuxLengthBeyondDatagram(t *testing.T) {
+	p, _ := newBound(t, 9)
+	b := wire(1, 9, []byte("abc"), false)
+	b[4], b[5] = 0xff, 0xff
+	if err := p.Demux(xkernel.FromBytes(b)); !errors.Is(err, xkernel.ErrBadHeader) {
+		t.Fatalf("err = %v, want ErrBadHeader", err)
+	}
+}
+
+func TestDemuxTruncatesPadding(t *testing.T) {
+	p, got := newBound(t, 9)
+	b := append(wire(1, 9, []byte("abc"), true), 0, 0, 0) // trailing padding
+	if err := p.Demux(xkernel.FromBytes(b)); err != nil {
+		t.Fatal(err)
+	}
+	if string((*got)[0].Payload) != "abc" {
+		t.Fatalf("padding leaked: %q", (*got)[0].Payload)
+	}
+}
+
+func TestBindConflict(t *testing.T) {
+	p := New()
+	if _, err := p.Bind(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Bind(7, nil); err == nil {
+		t.Fatal("double bind allowed")
+	}
+	p.Unbind(7)
+	if _, err := p.Bind(7, nil); err != nil {
+		t.Fatalf("rebind after unbind failed: %v", err)
+	}
+}
+
+func TestSessionCounters(t *testing.T) {
+	p := New()
+	s, err := p.Bind(9, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPseudoHeader(srcAddr, dstAddr)
+	for i := 0; i < 3; i++ {
+		if err := p.Demux(xkernel.FromBytes(wire(1, 9, []byte("abcd"), true))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Packets != 3 || s.Bytes != 12 {
+		t.Fatalf("session counters = %d pkts / %d bytes", s.Packets, s.Bytes)
+	}
+}
+
+// Property: encode-then-demux round-trips any payload when the checksum
+// is enabled and the pseudo-header matches.
+func TestPropertyEncodeDemuxRoundTrip(t *testing.T) {
+	prop := func(payload []byte, srcPort uint16) bool {
+		p := New()
+		var delivered []byte
+		ok := false
+		if _, err := p.Bind(400, func(d Datagram) {
+			delivered = append([]byte{}, d.Payload...)
+			ok = true
+		}); err != nil {
+			return false
+		}
+		p.SetPseudoHeader(srcAddr, dstAddr)
+		if err := p.Demux(xkernel.FromBytes(wire(srcPort, 400, payload, true))); err != nil {
+			return false
+		}
+		return ok && bytes.Equal(delivered, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption of a checksummed datagram is
+// detected (Internet checksum catches all single-byte errors).
+func TestPropertyChecksumDetectsCorruption(t *testing.T) {
+	prop := func(payload []byte, pos uint16, flip byte) bool {
+		if flip == 0 {
+			flip = 0x01
+		}
+		b := wire(5, 400, payload, true)
+		i := int(pos) % len(b)
+		if i == 6 || i == 7 {
+			// Corrupting the checksum field itself is also detected,
+			// but xor with the transmit-as-0xffff rule needs care; the
+			// interesting bytes are everywhere else.
+			i = 0
+		}
+		b[i] ^= flip
+		p := New()
+		if _, err := p.Bind(400, nil); err != nil {
+			return false
+		}
+		p.SetPseudoHeader(srcAddr, dstAddr)
+		err := p.Demux(xkernel.FromBytes(b))
+		// Either the checksum catches it, or the corruption hit the
+		// ports/length and demux fails another way. It must never be
+		// silently delivered as valid.
+		return err != nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
