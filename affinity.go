@@ -37,10 +37,13 @@
 package affinity
 
 import (
+	"io"
+
 	"affinity/internal/cachesim"
 	"affinity/internal/calib"
 	"affinity/internal/core"
 	"affinity/internal/exp"
+	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/sim"
 	"affinity/internal/traffic"
@@ -176,6 +179,45 @@ func Calibrate(p Platform) CalibrationResult {
 
 // CalibrationResult carries raw and normalized calibration output.
 type CalibrationResult = calib.Result
+
+// Observability types (internal/obs): set Params.Recorder to receive
+// the run's structured event stream. Recorders observe only — results
+// are bit-identical with or without one attached.
+type (
+	// Recorder receives simulation events; implementations must not
+	// block (they run inline with the event loop).
+	Recorder = obs.Recorder
+	// ObsEvent is one structured simulation event.
+	ObsEvent = obs.Event
+	// ObsKind names an event kind.
+	ObsKind = obs.Kind
+	// ChromeTrace streams events as Chrome trace-event JSON for
+	// chrome://tracing or https://ui.perfetto.dev.
+	ChromeTrace = obs.ChromeTrace
+	// CSVRecorder streams events as a CSV time series.
+	CSVRecorder = obs.CSV
+	// MetricsRecorder aggregates events into counters and timers
+	// in memory.
+	MetricsRecorder = obs.Metrics
+	// ObsSnapshot is a point-in-time copy of a MetricsRecorder.
+	ObsSnapshot = obs.Snapshot
+)
+
+// NewChromeTrace returns a recorder streaming Chrome trace-event JSON
+// to w; call Close after the run to finish the JSON array.
+func NewChromeTrace(w io.Writer) *ChromeTrace { return obs.NewChromeTrace(w) }
+
+// NewCSVRecorder returns a recorder streaming events as CSV rows to w;
+// call Close after the run to flush.
+func NewCSVRecorder(w io.Writer) *CSVRecorder { return obs.NewCSV(w) }
+
+// NewMetricsRecorder returns an in-memory aggregating recorder; its
+// snapshot is also merged into Results.Obs after the run.
+func NewMetricsRecorder() *MetricsRecorder { return obs.NewMetrics() }
+
+// MultiRecorder fans events out to several recorders (nils are
+// skipped; returns nil when none remain).
+func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 
 // Experiment types: the per-table/per-figure reproduction suite.
 type (

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"affinity"
@@ -48,6 +49,10 @@ func main() {
 		dataTouch = flag.Float64("datatouch", 0, "per-packet data-touching cost (µs)")
 		packets   = flag.Int("packets", 15000, "measured packet completions")
 		seed      = flag.Int64("seed", 1, "random seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (view at https://ui.perfetto.dev)")
+		csvOut    = flag.String("tracecsv", "", "write the run's event stream as a CSV time series")
+		obsOut    = flag.Bool("obs", false, "print the observability metrics snapshot after the run")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
 	)
 	flag.Parse()
 
@@ -99,7 +104,67 @@ func main() {
 	}
 	p.Background = &bg
 
+	// Observability sinks. cleanup runs explicitly before every exit
+	// path (the saturation path uses os.Exit, which skips defers).
+	var recs []affinity.Recorder
+	var cleanup []func()
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail("creating trace file: %v", err)
+		}
+		ct := affinity.NewChromeTrace(f)
+		recs = append(recs, ct)
+		cleanup = append(cleanup, func() {
+			if err := ct.Close(); err != nil {
+				fail("writing trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("closing trace file: %v", err)
+			}
+		})
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fail("creating csv file: %v", err)
+		}
+		cr := affinity.NewCSVRecorder(f)
+		recs = append(recs, cr)
+		cleanup = append(cleanup, func() {
+			if err := cr.Close(); err != nil {
+				fail("writing csv: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("closing csv file: %v", err)
+			}
+		})
+	}
+	if *obsOut {
+		recs = append(recs, affinity.NewMetricsRecorder())
+	}
+	p.Recorder = affinity.MultiRecorder(recs...)
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail("creating cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting cpu profile: %v", err)
+		}
+		cleanup = append(cleanup, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail("closing cpu profile: %v", err)
+			}
+		})
+	}
+
 	res := affinity.Run(p)
+	for _, fn := range cleanup {
+		fn()
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -108,9 +173,30 @@ func main() {
 		}
 	} else {
 		printResults(res)
+		if *obsOut && res.Obs != nil {
+			printObs(res.Obs)
+		}
 	}
 	if res.Saturated {
 		os.Exit(2)
+	}
+}
+
+func printObs(s *affinity.ObsSnapshot) {
+	fmt.Printf("\nobservability (%d recorder events)\n", s.Events)
+	fmt.Printf("arrivals        %d\n", s.Arrivals)
+	fmt.Printf("dispatches      %d\n", s.Dispatches)
+	fmt.Printf("completions     %d\n", s.Completions)
+	fmt.Printf("migrations      %d (cold starts %d, spills %d)\n",
+		s.Migrations, s.ColdStarts, s.Spills)
+	fmt.Printf("exec time       mean %.1f µs (n=%d, sd %.1f, max %.1f)\n",
+		s.ExecTime.Mean, s.ExecTime.N, s.ExecTime.StdDev, s.ExecTime.Max)
+	fmt.Printf("queue wait      mean %.1f µs (n=%d, max %.1f)\n",
+		s.QueueWait.Mean, s.QueueWait.N, s.QueueWait.Max)
+	fmt.Printf("queue depth     mean %.1f (sampled, max %.0f)\n",
+		s.QueueDepth.Mean, s.QueueDepth.Max)
+	for i, b := range s.PerProcBusy {
+		fmt.Printf("proc %-2d busy    %.0f µs (closed intervals)\n", i, b)
 	}
 }
 

@@ -7,14 +7,19 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
+	"os"
 
 	"affinity"
 )
 
 func main() {
-	res := affinity.Run(affinity.Params{
+	traceOut := flag.String("trace", "", "also write a Chrome trace-event JSON of the whole run (open it at https://ui.perfetto.dev: one track per processor, one per stream)")
+	flag.Parse()
+
+	p := affinity.Params{
 		Paradigm:        affinity.Locking,
 		Policy:          affinity.MRU,
 		Streams:         4,
@@ -22,7 +27,27 @@ func main() {
 		Seed:            7,
 		MeasuredPackets: 500,
 		TraceN:          28,
-	})
+	}
+	var ct *affinity.ChromeTrace
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedtrace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ct = affinity.NewChromeTrace(f)
+		p.Recorder = ct
+	}
+
+	res := affinity.Run(p)
+	if ct != nil {
+		if err := ct.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "schedtrace: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "full event trace written to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+	}
 
 	fmt.Println("first scheduling decisions (Locking / MRU, 4 streams × 2000 pkt/s):")
 	fmt.Printf("%-10s %-7s %-5s %-11s %-10s %s\n",

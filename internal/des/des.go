@@ -30,10 +30,16 @@ func (t Time) Seconds() float64 { return float64(t) / 1e6 }
 func (t Time) Millis() float64 { return float64(t) / 1e3 }
 
 func (t Time) String() string {
+	// Pick the unit by magnitude so negative durations format
+	// symmetrically (-1500 is -1.500ms, not -1500.000µs).
+	abs := t
+	if abs < 0 {
+		abs = -abs
+	}
 	switch {
-	case t >= Second:
+	case abs >= Second:
 		return fmt.Sprintf("%.3fs", t.Seconds())
-	case t >= Millisecond:
+	case abs >= Millisecond:
 		return fmt.Sprintf("%.3fms", t.Millis())
 	default:
 		return fmt.Sprintf("%.3fµs", float64(t))
@@ -91,11 +97,12 @@ func (h *eventHeap) Pop() any {
 // Simulator is a single-threaded discrete-event simulator.
 // The zero value is not usable; call NewSimulator.
 type Simulator struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	stopped bool
-	fired   uint64
+	now        Time
+	seq        uint64
+	events     eventHeap
+	stopped    bool
+	fired      uint64
+	maxPending int
 }
 
 // NewSimulator returns a simulator with the clock at zero.
@@ -111,6 +118,14 @@ func (s *Simulator) Fired() uint64 { return s.fired }
 
 // Pending returns the number of events currently scheduled.
 func (s *Simulator) Pending() int { return len(s.events) }
+
+// Scheduled returns the number of events ever scheduled (fired,
+// pending or cancelled).
+func (s *Simulator) Scheduled() uint64 { return s.seq }
+
+// MaxPending returns the event heap's high-water mark — the engine's
+// own contribution to the observability gauges.
+func (s *Simulator) MaxPending() int { return s.maxPending }
 
 // Schedule runs h after delay. A negative delay is an error in the caller;
 // it panics to surface the bug immediately.
@@ -132,6 +147,9 @@ func (s *Simulator) ScheduleAt(at Time, h Handler) EventRef {
 	ev := &event{at: at, seq: s.seq, handler: h}
 	s.seq++
 	heap.Push(&s.events, ev)
+	if len(s.events) > s.maxPending {
+		s.maxPending = len(s.events)
+	}
 	return EventRef{ev: ev}
 }
 

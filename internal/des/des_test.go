@@ -208,6 +208,12 @@ func TestTimeString(t *testing.T) {
 		{1, "1.000µs"},
 		{1500, "1.500ms"},
 		{2.5e6, "2.500s"},
+		// Negative durations (elapsed-time differences) must pick the
+		// unit by magnitude, not fall through to µs.
+		{-1, "-1.000µs"},
+		{-1500, "-1.500ms"},
+		{-2.5e6, "-2.500s"},
+		{0, "0.000µs"},
 	}
 	for _, c := range cases {
 		if got := c.in.String(); got != c.want {
@@ -453,5 +459,25 @@ func TestRNGDrawHelpers(t *testing.T) {
 	}
 	if zeros < 300 {
 		t.Fatalf("Zipf(1.5) drew rank 0 only %d/1000 times; not skewed", zeros)
+	}
+}
+
+func TestSchedulingCounters(t *testing.T) {
+	s := NewSimulator()
+	if s.Scheduled() != 0 || s.MaxPending() != 0 {
+		t.Fatal("fresh simulator has nonzero counters")
+	}
+	for i := 0; i < 5; i++ {
+		s.Schedule(Time(i), func() {})
+	}
+	if s.Scheduled() != 5 || s.MaxPending() != 5 {
+		t.Fatalf("Scheduled=%d MaxPending=%d, want 5/5", s.Scheduled(), s.MaxPending())
+	}
+	s.Run()
+	// Draining the heap must not lower the high-water mark, and firing
+	// events counts toward Fired, not Scheduled.
+	if s.MaxPending() != 5 || s.Scheduled() != 5 || s.Fired() != 5 {
+		t.Fatalf("after run: Scheduled=%d MaxPending=%d Fired=%d",
+			s.Scheduled(), s.MaxPending(), s.Fired())
 	}
 }

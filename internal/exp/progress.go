@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"affinity/internal/sim"
+)
+
+// Reporter logs per-experiment progress and timing: wall-clock duration,
+// the number of simulator events fired while the experiment ran, and the
+// resulting event rate. It is safe for concurrent use (paperfigs runs
+// experiments in parallel); event counts are drawn from the simulator's
+// global counter, so under concurrency each experiment's count includes
+// events fired by experiments that overlapped it — the report labels
+// such counts accordingly.
+type Reporter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	now    func() time.Time
+	active map[string]expStart
+	// inflight tracks overlap so concurrent runs can be flagged.
+	inflight int
+}
+
+type expStart struct {
+	wall    time.Time
+	events  uint64
+	overlap bool
+}
+
+// NewReporter returns a Reporter writing human-readable lines to w.
+func NewReporter(w io.Writer) *Reporter {
+	return &Reporter{w: w, now: time.Now, active: map[string]expStart{}}
+}
+
+// Start records the beginning of the experiment with the given ID.
+func (r *Reporter) Start(id, title string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inflight++
+	r.active[id] = expStart{
+		wall:    r.now(),
+		events:  sim.TotalEventsFired(),
+		overlap: r.inflight > 1,
+	}
+	fmt.Fprintf(r.w, "%-4s start  %s\n", id, title)
+}
+
+// Done records the end of the experiment with the given ID and prints
+// its wall-clock time, events fired and event rate. Unknown IDs are
+// ignored.
+func (r *Reporter) Done(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.active[id]
+	if !ok {
+		return
+	}
+	delete(r.active, id)
+	if r.inflight > 1 {
+		s.overlap = true
+	}
+	r.inflight--
+	wall := r.now().Sub(s.wall)
+	events := sim.TotalEventsFired() - s.events
+	rate := ""
+	if secs := wall.Seconds(); secs > 0 {
+		rate = fmt.Sprintf("  %.3g events/s", float64(events)/secs)
+	}
+	qual := ""
+	if s.overlap {
+		qual = " (incl. concurrent runs)"
+	}
+	fmt.Fprintf(r.w, "%-4s done   %v  %d events%s%s\n", id, wall.Round(time.Millisecond), events, qual, rate)
+}

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/traffic"
+)
+
+func TestReporterTimesAndCounts(t *testing.T) {
+	var b strings.Builder
+	r := NewReporter(&b)
+	// Deterministic clock: each call advances 100 ms.
+	tick := time.Unix(0, 0)
+	r.now = func() time.Time {
+		tick = tick.Add(100 * time.Millisecond)
+		return tick
+	}
+
+	r.Start("E1", "Footprint function")
+	// Run a real (tiny) simulation so the global event counter advances.
+	p := sim.Params{
+		Paradigm:        sim.Locking,
+		Policy:          sched.MRU,
+		Processors:      2,
+		Streams:         4,
+		Arrival:         traffic.Poisson{PacketsPerSec: 2000},
+		MeasuredPackets: 200,
+		Seed:            1,
+	}
+	res := sim.Run(p)
+	if res.EventsFired == 0 {
+		t.Fatal("tiny run fired no events")
+	}
+	r.Done("E1")
+
+	out := b.String()
+	if !strings.Contains(out, "E1   start  Footprint function") {
+		t.Fatalf("missing start line:\n%s", out)
+	}
+	if !strings.Contains(out, "E1   done   100ms") {
+		t.Fatalf("missing or mistimed done line:\n%s", out)
+	}
+	if !strings.Contains(out, "events/s") {
+		t.Fatalf("missing event rate:\n%s", out)
+	}
+	if strings.Contains(out, " 0 events") {
+		t.Fatalf("event delta not captured:\n%s", out)
+	}
+	if strings.Contains(out, "concurrent") {
+		t.Fatalf("sequential run flagged as concurrent:\n%s", out)
+	}
+}
+
+func TestReporterOverlapFlag(t *testing.T) {
+	var b strings.Builder
+	r := NewReporter(&b)
+	r.Start("A", "first")
+	r.Start("B", "second")
+	r.Done("A")
+	r.Done("B")
+	out := b.String()
+	if strings.Count(out, "incl. concurrent runs") != 2 {
+		t.Fatalf("overlapping runs not both flagged:\n%s", out)
+	}
+	r.Done("unknown") // must not panic or print
+	if strings.Contains(b.String(), "unknown") {
+		t.Fatal("unknown ID produced output")
+	}
+}

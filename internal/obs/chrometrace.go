@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ChromeTrace streams events to w in the Chrome trace-event JSON array
+// format, which loads directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing. The layout is:
+//
+//   - process "processors" (pid 1): one track per simulated processor,
+//     with a B/E slice for every packet execution (named after the
+//     stream it served), instant markers for migrations, cold starts
+//     and spills, and counter tracks for the periodic gauges.
+//   - process "streams" (pid 2): one track per stream, with an async
+//     b/e span per packet from arrival to completion — the packet's
+//     whole life, queueing included.
+//
+// Events stream out as they are recorded (nothing is buffered beyond a
+// bufio.Writer), so arbitrarily long runs trace in constant memory.
+// Close writes the closing bracket and flushes; the result is invalid
+// JSON until then.
+type ChromeTrace struct {
+	w       *bufio.Writer
+	err     error
+	started bool
+	closed  bool
+	procs   map[int]bool // tids announced on pid 1
+	streams map[int]bool // tids announced on pid 2
+}
+
+const (
+	pidProcs   = 1
+	pidStreams = 2
+)
+
+// NewChromeTrace returns a sink writing the JSON array to w.
+func NewChromeTrace(w io.Writer) *ChromeTrace {
+	return &ChromeTrace{
+		w:       bufio.NewWriter(w),
+		procs:   map[int]bool{},
+		streams: map[int]bool{},
+	}
+}
+
+// raw writes one trace-event object, handling array punctuation.
+func (c *ChromeTrace) raw(v map[string]any) {
+	if c.err != nil || c.closed {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if !c.started {
+		_, c.err = c.w.WriteString("[\n")
+		c.started = true
+	} else {
+		_, c.err = c.w.WriteString(",\n")
+	}
+	if c.err == nil {
+		_, c.err = c.w.Write(b)
+	}
+}
+
+// meta emits a metadata record (process/thread naming).
+func (c *ChromeTrace) meta(name string, pid, tid int, args map[string]any) {
+	c.raw(map[string]any{"ph": "M", "name": name, "pid": pid, "tid": tid, "args": args})
+}
+
+func (c *ChromeTrace) announceProc(p int) {
+	if p < 0 || c.procs[p] {
+		return
+	}
+	if len(c.procs) == 0 {
+		c.meta("process_name", pidProcs, 0, map[string]any{"name": "processors"})
+	}
+	c.procs[p] = true
+	c.meta("thread_name", pidProcs, p, map[string]any{"name": fmt.Sprintf("cpu %d", p)})
+	c.meta("thread_sort_index", pidProcs, p, map[string]any{"sort_index": p})
+}
+
+func (c *ChromeTrace) announceStream(s int) {
+	if s < 0 || c.streams[s] {
+		return
+	}
+	if len(c.streams) == 0 {
+		c.meta("process_name", pidStreams, 0, map[string]any{"name": "streams"})
+	}
+	c.streams[s] = true
+	c.meta("thread_name", pidStreams, s, map[string]any{"name": fmt.Sprintf("stream %d", s)})
+	c.meta("thread_sort_index", pidStreams, s, map[string]any{"sort_index": s})
+}
+
+// finiteXRefs maps +Inf (cold start) to -1 so the JSON stays valid; the
+// cold flag carries the information.
+func finiteXRefs(x float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		return -1
+	}
+	return x
+}
+
+// counter emits a counter sample on the processors process.
+func (c *ChromeTrace) counter(name string, t, v float64) {
+	c.raw(map[string]any{
+		"ph": "C", "name": name, "pid": pidProcs, "tid": 0, "ts": t,
+		"args": map[string]any{"value": v},
+	})
+}
+
+// instant emits an instant marker on a processor track.
+func (c *ChromeTrace) instant(name string, t float64, proc int, args map[string]any) {
+	c.announceProc(proc)
+	ev := map[string]any{"ph": "i", "name": name, "s": "t", "pid": pidProcs, "tid": proc, "ts": t}
+	if args != nil {
+		ev["args"] = args
+	}
+	c.raw(ev)
+}
+
+// Record implements Recorder.
+func (c *ChromeTrace) Record(e Event) {
+	switch e.Kind {
+	case KindArrival:
+		c.announceStream(e.Stream)
+		c.raw(map[string]any{
+			"ph": "b", "cat": "packet", "id": fmt.Sprintf("%d", e.Seq), "name": "packet",
+			"pid": pidStreams, "tid": e.Stream, "ts": e.T,
+		})
+	case KindExecStart:
+		c.announceProc(e.Proc)
+		c.raw(map[string]any{
+			"ph": "B", "cat": "exec", "name": fmt.Sprintf("stream %d", e.Stream),
+			"pid": pidProcs, "tid": e.Proc, "ts": e.T,
+			"args": map[string]any{
+				"seq": e.Seq, "entity": e.Entity, "exec_us": e.Dur,
+				"xrefs": finiteXRefs(e.Val), "flags": e.Flags.String(),
+			},
+		})
+	case KindExecEnd:
+		c.announceProc(e.Proc)
+		c.raw(map[string]any{"ph": "E", "pid": pidProcs, "tid": e.Proc, "ts": e.T})
+		if e.Stream >= 0 {
+			c.announceStream(e.Stream)
+			c.raw(map[string]any{
+				"ph": "e", "cat": "packet", "id": fmt.Sprintf("%d", e.Seq), "name": "packet",
+				"pid": pidStreams, "tid": e.Stream, "ts": e.T,
+			})
+		}
+	case KindMigration:
+		c.instant("migration", e.T, e.Proc, map[string]any{"entity": e.Entity})
+	case KindColdStart:
+		c.instant("cold start", e.T, e.Proc, map[string]any{"entity": e.Entity})
+	case KindSpill:
+		// A spill may happen before a processor is chosen (Proc -1);
+		// pin those markers to track 0 rather than dropping them.
+		proc := e.Proc
+		if proc < 0 {
+			proc = 0
+		}
+		c.instant("spill", e.T, proc, map[string]any{"stream": e.Stream})
+	case KindGaugeQueue:
+		c.counter("queued packets", e.T, e.Val)
+	case KindGaugeOverflow:
+		c.counter("overflow queue", e.T, e.Val)
+	case KindGaugeHeap:
+		c.counter("event heap", e.T, e.Val)
+	case KindGaugeDispNP:
+		c.counter("disp refs (non-protocol)", e.T, e.Val)
+	case KindGaugeDispProto:
+		c.counter("disp refs (protocol)", e.T, e.Val)
+	}
+	// KindEnqueue, KindDispatch, KindProcBusy and KindProcIdle carry no
+	// extra visual information: waiting shows as the gap inside the
+	// packet's async span, busy/idle as the presence of exec slices.
+}
+
+// Err returns the first write or encoding error, if any.
+func (c *ChromeTrace) Err() error { return c.err }
+
+// Close terminates the JSON array and flushes. Events recorded after
+// Close are dropped.
+func (c *ChromeTrace) Close() error {
+	if c.closed {
+		return c.err
+	}
+	if c.err == nil && !c.started {
+		_, c.err = c.w.WriteString("[")
+		c.started = true
+	}
+	if c.err == nil {
+		_, c.err = c.w.WriteString("\n]\n")
+	}
+	c.closed = true
+	if err := c.w.Flush(); c.err == nil {
+		c.err = err
+	}
+	return c.err
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// CSV streams every event as one row of a CSV time series:
+//
+//	t_us,kind,proc,stream,entity,seq,dur_us,value,flags
+//
+// Indices that do not apply print as -1 and payloads as empty fields,
+// so the output loads cleanly into dataframe tools. Close flushes.
+type CSV struct {
+	w      *csv.Writer
+	err    error
+	closed bool
+}
+
+// NewCSV returns a sink writing rows (header included) to w.
+func NewCSV(w io.Writer) *CSV {
+	c := &CSV{w: csv.NewWriter(w)}
+	c.err = c.w.Write([]string{
+		"t_us", "kind", "proc", "stream", "entity", "seq", "dur_us", "value", "flags",
+	})
+	return c
+}
+
+func ftoa(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Record implements Recorder.
+func (c *CSV) Record(e Event) {
+	if c.err != nil || c.closed {
+		return
+	}
+	dur, val := "", ""
+	if e.Dur != 0 {
+		dur = ftoa(e.Dur)
+	}
+	if e.Val != 0 || e.Kind.Gauge() {
+		val = ftoa(e.Val)
+	}
+	c.err = c.w.Write([]string{
+		ftoa(e.T),
+		e.Kind.String(),
+		strconv.Itoa(e.Proc),
+		strconv.Itoa(e.Stream),
+		strconv.Itoa(e.Entity),
+		strconv.FormatUint(e.Seq, 10),
+		dur,
+		val,
+		e.Flags.String(),
+	})
+}
+
+// Err returns the first write error, if any.
+func (c *CSV) Err() error { return c.err }
+
+// Close flushes buffered rows. Events recorded after Close are dropped.
+func (c *CSV) Close() error {
+	if c.closed {
+		return c.err
+	}
+	c.closed = true
+	c.w.Flush()
+	if err := c.w.Error(); c.err == nil {
+		c.err = err
+	}
+	return c.err
+}

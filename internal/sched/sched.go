@@ -31,10 +31,13 @@ import (
 
 // Packet is the scheduling view of a packet: its stream, its footprint
 // entity (stream under Locking, stack under IPS) and its arrival time.
+// Seq is a 1-based serial number assigned at arrival; the observability
+// layer uses it to correlate a packet's lifecycle events.
 type Packet struct {
 	Stream int
 	Entity int
 	Arrive des.Time
+	Seq    uint64
 }
 
 // Kind names a scheduling policy.
@@ -97,6 +100,30 @@ type PacketDispatcher interface {
 	RanOn(entity, proc int)
 	// Queued returns the number of packets waiting.
 	Queued() int
+	// AffinityStats reports how many placement/dispatch decisions
+	// landed work on the processor holding the entity's warm state,
+	// out of the total decisions made.
+	AffinityStats() (hits, total uint64)
+}
+
+// affinityCount instruments a policy's decisions for the observability
+// layer: each placement or dispatch counts once, as a hit when the
+// chosen processor is the one the entity is warm on. The no-affinity
+// baselines (FCFS, IPS-Random) report zero hits by construction.
+type affinityCount struct {
+	hits, decisions uint64
+}
+
+func (c *affinityCount) note(hit bool) {
+	c.decisions++
+	if hit {
+		c.hits++
+	}
+}
+
+// AffinityStats returns the hit and decision counts.
+func (c *affinityCount) AffinityStats() (hits, total uint64) {
+	return c.hits, c.decisions
 }
 
 // NewPacketDispatcher builds the Locking dispatcher for kind k on n
@@ -135,21 +162,30 @@ func NewPacketDispatcherLookahead(k Kind, n int, rng *des.RNG, lookahead int) Pa
 
 // fcfs: one central FIFO, no affinity.
 type fcfs struct {
+	affinityCount
 	q   fifo
 	rng *des.RNG
 }
 
 func (*fcfs) Name() string { return FCFS.String() }
 func (f *fcfs) PickProcessor(_ Packet, idle []int) int {
+	f.note(false)
 	return idle[f.rng.Intn(len(idle))]
 }
-func (f *fcfs) Enqueue(p Packet)            { f.q.push(p) }
-func (f *fcfs) Dispatch(int) (Packet, bool) { return f.q.pop() }
-func (*fcfs) RanOn(int, int)                {}
-func (f *fcfs) Queued() int                 { return f.q.len() }
+func (f *fcfs) Enqueue(p Packet) { f.q.push(p) }
+func (f *fcfs) Dispatch(int) (Packet, bool) {
+	p, ok := f.q.pop()
+	if ok {
+		f.note(false)
+	}
+	return p, ok
+}
+func (*fcfs) RanOn(int, int) {}
+func (f *fcfs) Queued() int  { return f.q.len() }
 
 // mru: central FIFO with affinity preference at both decision points.
 type mru struct {
+	affinityCount
 	q         fifo
 	mru       map[int]int // entity → processor it last ran on
 	rng       *des.RNG
@@ -162,12 +198,14 @@ func (m *mru) PickProcessor(p Packet, idle []int) int {
 	if proc, ok := m.mru[p.Entity]; ok {
 		for _, i := range idle {
 			if i == proc {
+				m.note(true)
 				return proc
 			}
 		}
 	}
 	// No affinity or its processor is busy: take any idle one rather
 	// than wait (work conservation, as in the paper's MRU policy).
+	m.note(false)
 	return idle[m.rng.Intn(len(idle))]
 }
 
@@ -180,9 +218,16 @@ func (m *mru) Dispatch(proc int) (Packet, bool) {
 		h, ok := m.mru[p.Entity]
 		return ok && h == proc
 	}); i >= 0 {
+		m.note(true)
 		return m.q.removeAt(i), true
 	}
-	return m.q.pop()
+	p, ok := m.q.pop()
+	if ok {
+		// The FIFO head may still happen to be affine.
+		h, known := m.mru[p.Entity]
+		m.note(known && h == proc)
+	}
+	return p, ok
 }
 
 func (m *mru) RanOn(entity, proc int) { m.mru[entity] = proc }
@@ -191,6 +236,7 @@ func (m *mru) Queued() int            { return m.q.len() }
 // pools: per-processor queues with a per-stream home. With stealing it
 // is the ThreadPools policy, without it Wired-Streams.
 type pools struct {
+	affinityCount
 	queues   []fifo
 	home     map[int]int
 	stealing bool
@@ -223,21 +269,26 @@ func (p *pools) PickProcessor(pk Packet, idle []int) int {
 	h := p.homeOf(pk.Entity)
 	for _, i := range idle {
 		if i == h {
+			p.note(true)
 			return h
 		}
 	}
 	if p.stealing {
 		// ThreadPools: an idle processor's pool thread will take the
 		// packet rather than let it wait behind a busy home.
+		p.note(false)
 		return idle[p.rng.Intn(len(idle))]
 	}
-	return -1 // Wired-Streams: wait for the home processor
+	return -1 // Wired-Streams: wait for the home processor (no decision)
 }
 
 func (p *pools) Enqueue(pk Packet) { p.queues[p.homeOf(pk.Entity)].push(pk) }
 
 func (p *pools) Dispatch(proc int) (Packet, bool) {
 	if pk, ok := p.queues[proc].pop(); ok {
+		// A packet from the processor's own pool is affine (stealing
+		// migrates the home along with the stream, see RanOn).
+		p.note(p.home[pk.Entity] == proc)
 		return pk, true
 	}
 	if !p.stealing {
@@ -253,6 +304,7 @@ func (p *pools) Dispatch(proc int) (Packet, bool) {
 	if longest < 0 {
 		return Packet{}, false
 	}
+	p.note(false)
 	return p.queues[longest].pop()
 }
 

@@ -23,6 +23,9 @@ type StackDispatcher interface {
 	RanOn(stack, proc int)
 	// QueuedStacks returns the number of ready stacks waiting.
 	QueuedStacks() int
+	// AffinityStats reports how many placement/dispatch decisions
+	// landed a stack on its warm processor, out of the total made.
+	AffinityStats() (hits, total uint64)
 }
 
 // NewStackDispatcher builds the IPS dispatcher for kind k with the given
@@ -54,6 +57,7 @@ func NewStackDispatcherLookahead(k Kind, stacks, procs int, rng *des.RNG, lookah
 // wiredStacks: stack k is bound to processor k mod procs; each processor
 // has a FIFO runqueue of its ready stacks.
 type wiredStacks struct {
+	affinityCount
 	wire []int
 	runq [][]int
 }
@@ -75,10 +79,11 @@ func (w *wiredStacks) PickProcessor(stack int, idle []int) int {
 	home := w.wire[stack]
 	for _, i := range idle {
 		if i == home {
+			w.note(true)
 			return home
 		}
 	}
-	return -1 // wired: wait for the home processor
+	return -1 // wired: wait for the home processor (no decision)
 }
 
 func (w *wiredStacks) EnqueueStack(stack int) {
@@ -92,6 +97,7 @@ func (w *wiredStacks) DispatchStack(proc int) int {
 	}
 	s := w.runq[proc][0]
 	w.runq[proc] = w.runq[proc][1:]
+	w.note(true) // a wired run queue only ever holds home stacks
 	return s
 }
 
@@ -109,6 +115,7 @@ func (w *wiredStacks) QueuedStacks() int {
 // most-recently-used processor, and an idle processor prefers a stack
 // with affinity for it.
 type mruStacks struct {
+	affinityCount
 	ready     []int
 	mru       map[int]int
 	rng       *des.RNG
@@ -121,10 +128,12 @@ func (m *mruStacks) PickProcessor(stack int, idle []int) int {
 	if proc, ok := m.mru[stack]; ok {
 		for _, i := range idle {
 			if i == proc {
+				m.note(true)
 				return proc
 			}
 		}
 	}
+	m.note(false)
 	return idle[m.rng.Intn(len(idle))]
 }
 
@@ -146,6 +155,8 @@ func (m *mruStacks) DispatchStack(proc int) int {
 	}
 	s := m.ready[pick]
 	m.ready = append(m.ready[:pick], m.ready[pick+1:]...)
+	h, known := m.mru[s]
+	m.note(known && h == proc)
 	return s
 }
 
@@ -158,6 +169,7 @@ func (m *mruStacks) QueuedStacks() int { return len(m.ready) }
 // memory of where it ran before. The affinity policies are measured
 // against it in the reduction experiments.
 type randomStacks struct {
+	affinityCount
 	ready []int
 	rng   *des.RNG
 }
@@ -165,6 +177,7 @@ type randomStacks struct {
 func (*randomStacks) Name() string { return IPSRandom.String() }
 
 func (r *randomStacks) PickProcessor(_ int, idle []int) int {
+	r.note(false)
 	return idle[r.rng.Intn(len(idle))]
 }
 
@@ -176,6 +189,7 @@ func (r *randomStacks) DispatchStack(int) int {
 	}
 	s := r.ready[0]
 	r.ready = r.ready[1:]
+	r.note(false)
 	return s
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/des"
+	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/stats"
 )
@@ -21,6 +22,7 @@ import (
 type procState struct {
 	busy      bool
 	idleSince des.Time
+	busySince des.Time
 	dispNP    float64
 	dispProto float64
 	markNP    map[int]float64
@@ -62,9 +64,54 @@ type runner struct {
 	warm       uint64
 	coldStarts uint64
 	migrations uint64
+	spills     uint64
 	measured   int
 	arrivals   uint64
-	trace      []TraceEntry
+
+	// rec is the effective recorder chain — the user's Params.Recorder
+	// plus the TraceN adapter — or nil when both are disabled. Every
+	// emission site is guarded by `r.rec != nil`, which keeps the
+	// disabled path free of event construction (the zero-overhead
+	// contract). emitted counts events published through it.
+	rec     obs.Recorder
+	tsink   *traceSink
+	emitted uint64
+}
+
+// traceSink adapts the recorder event stream back into the legacy
+// Results.Trace format: it captures the first n ExecStart events,
+// pairing each with the Dispatch event the runner emits immediately
+// before it (same packet, same instant) for the queueing delay.
+type traceSink struct {
+	n       int
+	wait    float64
+	waitSeq uint64
+	entries []TraceEntry
+}
+
+func (t *traceSink) Record(e obs.Event) {
+	switch e.Kind {
+	case obs.KindDispatch:
+		t.wait, t.waitSeq = e.Dur, e.Seq
+	case obs.KindExecStart:
+		if len(t.entries) >= t.n {
+			return
+		}
+		var queued des.Time
+		if t.waitSeq == e.Seq {
+			queued = des.Time(t.wait)
+		}
+		t.entries = append(t.entries, TraceEntry{
+			Start:     des.Time(e.T),
+			Stream:    e.Stream,
+			Entity:    e.Entity,
+			Processor: e.Proc,
+			Queued:    queued,
+			XRefs:     e.Val,
+			Exec:      e.Dur,
+			Migrated:  e.Flags&obs.FlagMigrated != 0,
+		})
+	}
 }
 
 func newRunner(p Params) *runner {
@@ -96,11 +143,53 @@ func newRunner(p Params) *runner {
 			r.rng = des.Stream(p.Seed, "hybrid-overflow")
 		}
 	}
+	if p.TraceN > 0 {
+		r.tsink = &traceSink{n: p.TraceN}
+	}
+	if r.tsink != nil {
+		r.rec = obs.Multi(p.Recorder, r.tsink)
+	} else {
+		r.rec = p.Recorder
+	}
 	return r
 }
 
-// start schedules every stream's arrival process.
+// emit publishes one event on the recorder chain; callers guard with
+// r.rec != nil so the disabled path constructs nothing.
+func (r *runner) emit(e obs.Event) {
+	r.emitted++
+	r.rec.Record(e)
+}
+
+// start schedules every stream's arrival process and, when a recorder
+// is attached, the periodic gauge sampler.
 func (r *runner) start() {
+	if r.p.Recorder != nil {
+		// Gauges go only to user recorders: a TraceN-only run should
+		// not burn simulator events on samples nobody sees. The sampler
+		// reads state without mutating it, so it cannot perturb the run.
+		var sample func()
+		sample = func() {
+			t := float64(r.sim.Now())
+			r.emit(obs.Event{T: t, Kind: obs.KindGaugeQueue, Proc: -1, Stream: -1, Entity: -1,
+				Val: float64(r.queuedPackets())})
+			r.emit(obs.Event{T: t, Kind: obs.KindGaugeHeap, Proc: -1, Stream: -1, Entity: -1,
+				Val: float64(r.sim.Pending())})
+			var dNP, dProto float64
+			for i := range r.procs {
+				dNP += r.procs[i].dispNP
+				dProto += r.procs[i].dispProto
+			}
+			r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispNP, Proc: -1, Stream: -1, Entity: -1, Val: dNP})
+			r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispProto, Proc: -1, Stream: -1, Entity: -1, Val: dProto})
+			if r.p.Paradigm == Hybrid {
+				r.emit(obs.Event{T: t, Kind: obs.KindGaugeOverflow, Proc: -1, Stream: -1, Entity: -1,
+					Val: float64(len(r.overflow))})
+			}
+			r.sim.Schedule(r.p.SamplePeriod, sample)
+		}
+		r.sim.Schedule(r.p.SamplePeriod, sample)
+	}
 	for s := 0; s < r.p.Streams; s++ {
 		s := s
 		spec := r.p.Arrival
@@ -137,7 +226,11 @@ func (r *runner) idleProcs() []int {
 
 func (r *runner) arrive(stream int) {
 	r.arrivals++
-	pkt := sched.Packet{Stream: stream, Entity: r.p.entityOf(stream), Arrive: r.sim.Now()}
+	pkt := sched.Packet{Stream: stream, Entity: r.p.entityOf(stream), Arrive: r.sim.Now(), Seq: r.arrivals}
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(pkt.Arrive), Kind: obs.KindArrival,
+			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+	}
 	if r.p.Paradigm == Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
@@ -145,6 +238,7 @@ func (r *runner) arrive(stream int) {
 				return
 			}
 		}
+		r.enqueued(pkt)
 		r.disp.Enqueue(pkt)
 		return
 	}
@@ -155,16 +249,27 @@ func (r *runner) arrive(stream int) {
 	if r.p.Paradigm == Hybrid && (st.running || st.queued) && len(st.q) >= r.p.HybridOverflow {
 		// The stack is backed up: spill to the shared locking path,
 		// which any idle processor may serve concurrently.
+		r.spills++
 		if idle := r.idleProcs(); len(idle) > 0 {
 			proc := idle[r.rng.Intn(len(idle))]
+			if r.rec != nil {
+				r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
+					Proc: proc, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+			}
 			r.beginService(pkt, proc, true, true, r.completeOverflow)
 			return
 		}
+		if r.rec != nil {
+			r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
+				Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+		}
+		r.enqueued(pkt)
 		r.overflow = append(r.overflow, pkt)
 		return
 	}
 	st.q = append(st.q, pkt)
 	if st.running || st.queued {
+		r.enqueued(pkt)
 		return
 	}
 	if idle := r.idleProcs(); len(idle) > 0 {
@@ -173,8 +278,18 @@ func (r *runner) arrive(stream int) {
 			return
 		}
 	}
+	r.enqueued(pkt)
 	st.queued = true
 	r.sdisp.EnqueueStack(k)
+}
+
+// enqueued publishes the packet's enqueue event — it could not be
+// served immediately and now waits in some queue.
+func (r *runner) enqueued(pkt sched.Packet) {
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindEnqueue,
+			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+	}
 }
 
 // xRefs returns the displacing references entity e has suffered on proc
@@ -211,7 +326,12 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 		// Settle the idle period's background displacement.
 		ps.dispNP += r.p.Background.Intensity * r.rate * float64(now-ps.idleSince)
 		ps.busy = true
+		ps.busySince = now
 		ps.util.Set(float64(now), 1)
+		if r.rec != nil {
+			r.emit(obs.Event{T: float64(now), Kind: obs.KindProcBusy,
+				Proc: proc, Stream: -1, Entity: -1, Dur: float64(now - ps.idleSince)})
+		}
 		if r.p.Background.Intensity > 0 {
 			preempt = r.p.Background.PreemptCost
 		}
@@ -219,7 +339,8 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 
 	x := r.xRefs(pkt.Entity, proc)
 	exec := r.model.ExecTime(x) + r.p.DataTouch
-	if math.IsInf(x, 1) {
+	cold := math.IsInf(x, 1)
+	if cold {
 		r.coldStarts++
 	} else if r.model.F1(x) < 0.5 {
 		r.warm++
@@ -230,11 +351,32 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 		migrated = true
 	}
 	r.queueing.Add(float64(now - pkt.Arrive))
-	if len(r.trace) < r.p.TraceN {
-		r.trace = append(r.trace, TraceEntry{
-			Start: now, Stream: pkt.Stream, Entity: pkt.Entity, Processor: proc,
-			Queued: now - pkt.Arrive, XRefs: x, Exec: exec, Migrated: migrated,
-		})
+	if r.rec != nil {
+		t := float64(now)
+		r.emit(obs.Event{T: t, Kind: obs.KindDispatch, Proc: proc,
+			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq,
+			Dur: float64(now - pkt.Arrive)})
+		var flags obs.Flags
+		if cold {
+			flags |= obs.FlagCold
+		}
+		if migrated {
+			flags |= obs.FlagMigrated
+		}
+		if locked {
+			flags |= obs.FlagLocked
+		}
+		r.emit(obs.Event{T: t, Kind: obs.KindExecStart, Proc: proc,
+			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq,
+			Dur: exec, Val: x, Flags: flags})
+		if cold {
+			r.emit(obs.Event{T: t, Kind: obs.KindColdStart, Proc: proc,
+				Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+		}
+		if migrated {
+			r.emit(obs.Event{T: t, Kind: obs.KindMigration, Proc: proc,
+				Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+		}
 	}
 
 	if locked {
@@ -273,6 +415,10 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 		r.sdisp.RanOn(pkt.Entity, proc)
 	}
 	r.service.Add(protoExec)
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(now), Kind: obs.KindExecEnd, Proc: proc,
+			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq, Dur: protoExec})
+	}
 
 	if pkt.Arrive >= r.p.Warmup {
 		delay := float64(now - pkt.Arrive)
@@ -292,10 +438,15 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 
 // goIdle marks a processor idle and lets the background workload resume.
 func (r *runner) goIdle(proc int) {
+	now := r.sim.Now()
 	ps := &r.procs[proc]
 	ps.busy = false
-	ps.idleSince = r.sim.Now()
-	ps.util.Set(float64(r.sim.Now()), 0)
+	ps.idleSince = now
+	ps.util.Set(float64(now), 0)
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(now), Kind: obs.KindProcIdle,
+			Proc: proc, Stream: -1, Entity: -1, Dur: float64(now - ps.busySince)})
+	}
 }
 
 func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) {
@@ -415,8 +566,18 @@ func (r *runner) results() Results {
 		MeanLockWait: r.lockWait.Mean(),
 		ColdStarts:   r.coldStarts,
 		Migrations:   r.migrations,
+		Spills:       r.spills,
 		QueueAtEnd:   r.queuedPackets(),
 		SimTime:      now,
+
+		EventsFired:    r.sim.Fired(),
+		RecorderEvents: r.emitted,
+	}
+	totalEventsFired.Add(r.sim.Fired())
+	if r.p.Paradigm == Locking {
+		res.AffinityHits, res.Placements = r.disp.AffinityStats()
+	} else {
+		res.AffinityHits, res.Placements = r.sdisp.AffinityStats()
 	}
 	if total := r.service.N(); total > 0 {
 		res.WarmFraction = float64(r.warm) / float64(total)
@@ -425,8 +586,11 @@ func (r *runner) results() Results {
 		res.Throughput = float64(r.measured) / measureSpan.Seconds()
 	}
 	var util float64
+	res.PerProcBusyTime = make([]float64, len(r.procs))
 	for i := range r.procs {
-		util += r.procs[i].util.Mean(float64(now))
+		m := r.procs[i].util.Mean(float64(now))
+		util += m
+		res.PerProcBusyTime[i] = m * float64(now)
 	}
 	res.Utilization = util / float64(len(r.procs))
 	res.Saturated = r.measured < r.p.MeasuredPackets ||
@@ -436,7 +600,13 @@ func (r *runner) results() Results {
 		res.PerStreamDelay[i] = r.perStream[i].Mean()
 	}
 	res.DelayFairness = jainIndex(res.PerStreamDelay)
-	res.Trace = r.trace
+	if r.tsink != nil {
+		res.Trace = r.tsink.entries
+	}
+	if m := obs.FindMetrics(r.p.Recorder); m != nil {
+		snap := m.Snapshot()
+		res.Obs = &snap
+	}
 	return res
 }
 

@@ -14,9 +14,11 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"affinity/internal/core"
 	"affinity/internal/des"
+	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/traffic"
 	"affinity/internal/workload"
@@ -125,10 +127,25 @@ type Params struct {
 
 	// TraceN, when positive, records the first TraceN service decisions
 	// in Results.Trace — the scheduling dynamics, packet by packet.
+	// Internally this rides the Recorder event stream through a small
+	// adapter, so it sees exactly what an attached Recorder sees.
 	TraceN int
 	// BatchSize for the batch-means confidence interval; 0 derives one
 	// from MeasuredPackets.
 	BatchSize uint64
+
+	// Recorder, when non-nil, receives the run's structured event
+	// stream: packet lifecycle (arrival, enqueue, dispatch, exec
+	// start/end), migrations, cold starts, Hybrid spills, per-processor
+	// busy/idle transitions, and periodic gauges (see internal/obs).
+	// Recorders only observe — a run produces identical Results with
+	// and without one — and a nil Recorder costs a single predictable
+	// branch per emission site.
+	Recorder obs.Recorder
+	// SamplePeriod is the simulated-time interval between periodic
+	// gauge samples (queue depth, event-heap size, displacement
+	// counters) published to Recorder; 0 selects 1 ms.
+	SamplePeriod des.Time
 }
 
 // WithDefaults returns a copy with zero fields replaced by defaults.
@@ -186,6 +203,9 @@ func (p Params) WithDefaults() Params {
 	if p.BatchSize == 0 {
 		p.BatchSize = uint64(max(p.MeasuredPackets/30, 1))
 	}
+	if p.SamplePeriod == 0 {
+		p.SamplePeriod = des.Millisecond
+	}
 	return p
 }
 
@@ -239,6 +259,9 @@ func (p Params) Validate() error {
 	if p.TraceN < 0 {
 		return fmt.Errorf("sim: negative trace length %d", p.TraceN)
 	}
+	if p.SamplePeriod < 0 {
+		return fmt.Errorf("sim: negative gauge sample period %v", p.SamplePeriod)
+	}
 	return nil
 }
 
@@ -266,11 +289,32 @@ type Results struct {
 	WarmFraction float64 // completions with F1(x) < 0.5
 	ColdStarts   uint64  // completions on a processor new to the entity
 	Migrations   uint64  // completions on a different processor than last time
+	Spills       uint64  // Hybrid packets diverted to the shared overflow path
+
+	// AffinityHits counts scheduling decisions that landed work on the
+	// processor holding the entity's warm state, out of Placements
+	// total decisions (see sched.PacketDispatcher.AffinityStats).
+	AffinityHits uint64
+	Placements   uint64
 
 	Utilization float64 // mean processor busy fraction
 	QueueAtEnd  int     // packets still waiting when the run stopped
 	Saturated   bool    // run could not sustain the offered load
 	SimTime     des.Time
+
+	// PerProcBusyTime is each processor's protocol-busy time (µs) over
+	// the whole run — the exact integral behind Utilization.
+	PerProcBusyTime []float64
+
+	// EventsFired is the number of DES events the run executed;
+	// RecorderEvents the number of observability events published to
+	// Params.Recorder and the trace adapter (0 when both are disabled).
+	EventsFired    uint64
+	RecorderEvents uint64
+
+	// Obs is the metrics snapshot merged from Params.Recorder when the
+	// recorder chain contains an *obs.Metrics sink; nil otherwise.
+	Obs *obs.Snapshot
 
 	// PerStreamDelay holds each stream's mean delay; DelayFairness is
 	// Jain's fairness index over them (1 = perfectly even).
@@ -324,6 +368,15 @@ func (p Params) entityOf(stream int) int {
 	}
 	return stream
 }
+
+// totalEventsFired accumulates DES events across every completed run in
+// the process; the experiment progress reporter derives events/sec
+// from it.
+var totalEventsFired atomic.Uint64
+
+// TotalEventsFired returns the cumulative DES events fired by all runs
+// completed so far in this process.
+func TotalEventsFired() uint64 { return totalEventsFired.Load() }
 
 // Run executes one simulation and returns its metrics.
 func Run(p Params) Results {
