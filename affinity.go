@@ -163,6 +163,17 @@ func RunMany(params []Params, workers int) []Results {
 	return sim.RunMany(params, workers)
 }
 
+// Pool is a memoizing simulation worker pool: it bounds how many
+// simulations execute concurrently and serves repeated Params from a
+// cache (runs with a Recorder attached are never cached). One Pool can
+// be shared across many concurrent callers — the experiment suite runs
+// all its sweep points through one.
+type Pool = sim.Pool
+
+// NewPool returns a Pool executing at most workers simulations at once
+// (workers ≤ 0 selects GOMAXPROCS).
+func NewPool(workers int) *Pool { return sim.NewPool(workers) }
+
 // DefaultBackground returns the paper's loaded host (V = 1), and
 // IdleBackground the idle host (V = 0) used for upper-bound curves.
 func DefaultBackground() NonProtocol { return workload.Default() }

@@ -206,7 +206,12 @@ func printResults(r affinity.Results) {
 	fmt.Printf("offered load    %.0f pkt/s\n", r.OfferedRate)
 	fmt.Printf("throughput      %.0f pkt/s\n", r.Throughput)
 	fmt.Printf("mean delay      %.1f µs (±%.1f, 95%% CI)\n", r.MeanDelay, r.DelayCI)
-	fmt.Printf("p95 delay       %.1f µs\n", r.P95Delay)
+	if r.P95Clamped {
+		fmt.Printf("p95 delay       >%.1f µs (clamped at histogram bound; %.1f%% of delays above)\n",
+			r.P95Delay, 100*r.DelayOverflow)
+	} else {
+		fmt.Printf("p95 delay       %.1f µs\n", r.P95Delay)
+	}
 	fmt.Printf("mean service    %.1f µs\n", r.MeanService)
 	fmt.Printf("mean queueing   %.1f µs\n", r.MeanQueueing)
 	if r.MeanLockWait > 0 {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"affinity/internal/sim"
 )
 
 // Config controls experiment execution.
@@ -20,6 +22,15 @@ type Config struct {
 	// Seed is the base random seed; every simulation derives its own
 	// streams from it.
 	Seed int64
+	// Pool, when non-nil, is the shared sweep-point worker pool every
+	// experiment's Grid submits to. Sharing one pool across experiments
+	// parallelizes the whole suite at sweep-point granularity and lets
+	// configurations repeated across experiments simulate once. When
+	// nil, each Grid falls back to its own serial single-worker pool.
+	Pool *sim.Pool
+	// Reporter, when non-nil, receives per-experiment and per-point
+	// progress.
+	Reporter *Reporter
 }
 
 // packets returns the measured-packet budget for one simulation.

@@ -21,18 +21,26 @@ func FigE17(c Config) *Table {
 		Columns: []string{"rate (pkt/s/stream)", "FCFS", "MRU", "reduction"},
 	}
 	sendCal := core.SendCalibration()
+	g := c.Grid("E17")
+	type row struct {
+		rate      float64
+		fcfs, mru *Point
+	}
+	var rows []row
 	for _, rate := range rates(c, []float64{500, 1000, 2000, 3000, 4000, 5000, 5600, 6000}) {
-		mk := func(pol sched.Kind) sim.Results {
-			m := core.NewSendModel()
-			return run(c, sim.Params{
-				Model:    m,
+		mk := func(pol sched.Kind) *Point {
+			return g.Add(fmt.Sprintf("send %v @%g", pol, rate), sim.Params{
+				Model:    core.NewSendModel(),
 				Paradigm: sim.Locking, Policy: pol, Streams: 8,
 				Arrival: traffic.Poisson{PacketsPerSec: rate},
 			})
 		}
-		fcfs := mk(sched.FCFS)
-		mru := mk(sched.MRU)
-		t.AddRow(rate, fmtDelay(fcfs), fmtDelay(mru),
+		rows = append(rows, row{rate, mk(sched.FCFS), mk(sched.MRU)})
+	}
+	g.Run()
+	for _, r := range rows {
+		fcfs, mru := r.fcfs.Results(), r.mru.Results()
+		t.AddRow(r.rate, fmtDelay(fcfs), fmtDelay(mru),
 			fmt.Sprintf("%.1f%%", 100*(1-mru.MeanDelay/fcfs.MeanDelay)))
 	}
 	t.Note("send calibration: t_warm %.1f, t_L1cold %.1f, t_cold %.1f µs (regenerate with calib.MeasureSend)",
@@ -54,25 +62,38 @@ func FigE18(c Config) *Table {
 	if c.Quick {
 		bursts = []float64{1, 8, 32}
 	}
+	g := c.Grid("E18")
+	type row struct {
+		b              float64
+		lock, ips, hyb *Point
+	}
+	var rows []row
 	for _, b := range bursts {
 		var arrival traffic.Spec = traffic.Batch{PacketsPerSec: 1000, MeanBurst: b}
 		if b == 1 {
 			arrival = traffic.Poisson{PacketsPerSec: 1000}
 		}
-		lock := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8, Arrival: arrival,
+		rows = append(rows, row{
+			b: b,
+			lock: g.Add(fmt.Sprintf("Locking b=%g", b), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8, Arrival: arrival,
+			}),
+			ips: g.Add(fmt.Sprintf("IPS b=%g", b), sim.Params{
+				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8, Arrival: arrival,
+			}),
+			hyb: g.Add(fmt.Sprintf("Hybrid b=%g", b), sim.Params{
+				Paradigm: sim.Hybrid, Policy: sched.IPSWired, Streams: 8, Arrival: arrival,
+			}),
 		})
-		ips := run(c, sim.Params{
-			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8, Arrival: arrival,
-		})
-		hyb := run(c, sim.Params{
-			Paradigm: sim.Hybrid, Policy: sched.IPSWired, Streams: 8, Arrival: arrival,
-		})
+	}
+	g.Run()
+	for _, r := range rows {
+		lock, ips, hyb := r.lock.Results(), r.ips.Results(), r.hyb.Results()
 		best := lock.MeanDelay
 		if ips.MeanDelay < best {
 			best = ips.MeanDelay
 		}
-		t.AddRow(b, fmtDelay(lock), fmtDelay(ips), fmtDelay(hyb),
+		t.AddRow(r.b, fmtDelay(lock), fmtDelay(ips), fmtDelay(hyb),
 			fmt.Sprintf("%.2fx", hyb.MeanDelay/best))
 	}
 	t.Note("TR UM-CS-1994-075: a hybrid \"offers the best overall performance — high message throughput, high intra-stream scalability, and robustness in the presence of bursty arrivals\"")
@@ -95,10 +116,14 @@ func FigE19(c Config) *Table {
 			Arrival: traffic.Poisson{PacketsPerSec: 2000},
 		}
 	}
+	g := c.Grid("E19")
+	type row struct {
+		name, val string
+		pt        *Point
+	}
+	var rows []row
 	add := func(name string, val string, p sim.Params) {
-		res := run(c, p)
-		t.AddRow(name, val, fmtDelay(res), fmt.Sprintf("%.2f", res.WarmFraction),
-			fmt.Sprintf("%.0f", res.Throughput))
+		rows = append(rows, row{name, val, g.Add(fmt.Sprintf("%s=%s", name, val), p)})
 	}
 	lookaheads := []int{1, 2, 4, 8, 16}
 	shares := []float64{0.25, 0.5, 0.75}
@@ -123,6 +148,12 @@ func FigE19(c Config) *Table {
 		p.LockCritFrac = cf
 		add("lock critical fraction", fmt.Sprintf("%.2f", cf), p)
 	}
+	g.Run()
+	for _, r := range rows {
+		res := r.pt.Results()
+		t.AddRow(r.name, r.val, fmtDelay(res), fmt.Sprintf("%.2f", res.WarmFraction),
+			fmt.Sprintf("%.0f", res.Throughput))
+	}
 	t.Note("lookahead: deeper affine scans keep MRU warm near saturation; shared code: more sharing softens inter-stream displacement; critical fraction: sets the Locking throughput ceiling")
 	return t
 }
@@ -138,17 +169,26 @@ func FigE21(c Config) *Table {
 		Columns: []string{"rate (pkt/s/stream)", "FCFS", "MRU", "reduction"},
 	}
 	tcpCal := core.TCPCalibration()
+	g := c.Grid("E21")
+	type row struct {
+		rate      float64
+		fcfs, mru *Point
+	}
+	var rows []row
 	for _, rate := range rates(c, []float64{500, 1000, 1500, 2000, 2500, 3000, 3400, 3700}) {
-		mk := func(pol sched.Kind) sim.Results {
-			return run(c, sim.Params{
+		mk := func(pol sched.Kind) *Point {
+			return g.Add(fmt.Sprintf("tcp %v @%g", pol, rate), sim.Params{
 				Model:    core.NewTCPModel(),
 				Paradigm: sim.Locking, Policy: pol, Streams: 8,
 				Arrival: traffic.Poisson{PacketsPerSec: rate},
 			})
 		}
-		fcfs := mk(sched.FCFS)
-		mru := mk(sched.MRU)
-		t.AddRow(rate, fmtDelay(fcfs), fmtDelay(mru),
+		rows = append(rows, row{rate, mk(sched.FCFS), mk(sched.MRU)})
+	}
+	g.Run()
+	for _, r := range rows {
+		fcfs, mru := r.fcfs.Results(), r.mru.Results()
+		t.AddRow(r.rate, fmtDelay(fcfs), fmtDelay(mru),
 			fmt.Sprintf("%.1f%%", 100*(1-mru.MeanDelay/fcfs.MeanDelay)))
 	}
 	t.Note("TCP calibration: t_warm %.1f, t_L1cold %.1f, t_cold %.1f µs — %.0f%% above the UDP path, same warm/cold structure",
@@ -172,6 +212,12 @@ func FigE22(c Config) *Table {
 	for i := 1; i < 8; i++ {
 		specs[i] = traffic.Poisson{PacketsPerSec: 800}
 	}
+	g := c.Grid("E22")
+	type row struct {
+		name string
+		pt   *Point
+	}
+	var rows []row
 	for _, cfg := range []struct {
 		name string
 		par  sim.Paradigm
@@ -184,15 +230,20 @@ func FigE22(c Config) *Table {
 		{"IPS Wired (8 stacks)", sim.IPS, sched.IPSWired},
 		{"Hybrid", sim.Hybrid, sched.IPSWired},
 	} {
-		res := run(c, sim.Params{
+		rows = append(rows, row{cfg.name, g.Add(cfg.name, sim.Params{
 			Paradigm: cfg.par, Policy: cfg.pol, Streams: 8,
 			ArrivalPerStream: specs,
-		})
-		t.AddRow(cfg.name, fmtDelay(res), fmt.Sprintf("%.1f", res.P95Delay),
+		})})
+	}
+	g.Run()
+	for _, r := range rows {
+		res := r.pt.Results()
+		t.AddRow(r.name, fmtDelay(res), fmtP95(res),
 			fmt.Sprintf("%.3f", res.DelayFairness),
 			fmt.Sprintf("%.2f", res.WarmFraction), fmt.Sprintf("%v", res.Saturated))
 	}
 	t.Note("the 6000 pkt/s stream fills 89%% of one processor by itself: static wiring (WiredStreams, IPS) queues it behind a single CPU while work-conserving policies spread the excess")
 	t.Note("fairness is Jain's index over per-stream mean delays (1 = perfectly even)")
+	t.Note("p95 values prefixed '>' are clamped at the delay histogram's upper bound")
 	return t
 }

@@ -1,0 +1,123 @@
+package exp
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/traffic"
+)
+
+// The rendered tables must be identical at any worker count: the pool
+// only changes when simulations execute, never which runs occur or how
+// their results are assembled. E5 (plain sweep), E10 (capacity probes via
+// AddExact), E16 (nested reduction sweeps) and E23 (per-seed replication
+// pairs) cover every declaration pattern the suite uses.
+func TestExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	ids := []string{"E5", "E10", "E16", "E23"}
+	render := func(workers int) map[string]string {
+		cfg := Config{Quick: true, Seed: 1, Pool: sim.NewPool(workers)}
+		out := map[string]string{}
+		for _, id := range ids {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("unknown experiment %s", id)
+			}
+			out[id] = e.Run(cfg).String()
+		}
+		return out
+	}
+	serial := render(1)
+	parallel := render(8)
+	for _, id := range ids {
+		if serial[id] != parallel[id] {
+			t.Errorf("%s: table differs between workers=1 and workers=8:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial[id], parallel[id])
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("table sets differ between worker counts")
+	}
+}
+
+// Two grids sharing one pool — as all experiments do under paperfigs —
+// must simulate a configuration they both declare only once.
+func TestGridSharedPoolDedupesAcrossExperiments(t *testing.T) {
+	pool := sim.NewPool(2)
+	cfg := Config{Quick: true, Seed: 1, Pool: pool}
+	p := sim.Params{
+		Paradigm: sim.Locking, Policy: sched.MRU, Streams: 4,
+		Arrival: traffic.Poisson{PacketsPerSec: 800},
+	}
+	ga := cfg.Grid("A")
+	pa := ga.Add("shared point", p)
+	ga.Run()
+	gb := cfg.Grid("B")
+	pb := gb.Add("shared point", p)
+	gb.Run()
+	if hits, misses := pool.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if !reflect.DeepEqual(pa.Results(), pb.Results()) {
+		t.Error("shared point returned different results from the two grids")
+	}
+}
+
+// Reading a declared point before its grid has run is a harness bug and
+// must fail loudly, as must re-running or late-declaring on a grid.
+func TestGridMisusePanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	cfg := Config{Quick: true, Seed: 1}
+	p := sim.Params{
+		Paradigm: sim.Locking, Policy: sched.MRU, Streams: 1,
+		Arrival: traffic.Poisson{PacketsPerSec: 100},
+	}
+	expectPanic("early read", func() {
+		g := cfg.Grid("X")
+		g.Add("pt", p).Results()
+	})
+	g := cfg.Grid("Y")
+	g.Add("pt", p)
+	g.Run()
+	expectPanic("double run", g.Run)
+	expectPanic("late declare", func() { g.Add("late", p) })
+}
+
+// The per-point progress reporter must account every declared point
+// exactly once, regardless of worker count.
+func TestGridReportsEveryPoint(t *testing.T) {
+	var buf bytes.Buffer // reporter writes are serialized by its mutex
+	rep := NewReporter(&buf)
+	cfg := Config{Quick: true, Seed: 1, Pool: sim.NewPool(4), Reporter: rep}
+	rep.Start("Z", "reporter coverage")
+	g := cfg.Grid("Z")
+	const n = 3
+	for i := 0; i < n; i++ {
+		g.Add(fmt.Sprintf("pt%d", i), sim.Params{
+			Paradigm: sim.Locking, Policy: sched.MRU, Streams: 1,
+			Arrival: traffic.Poisson{PacketsPerSec: 100 * float64(i+1)},
+		})
+	}
+	g.Run()
+	rep.Done("Z")
+	out := buf.String()
+	if got := strings.Count(out, "Z    point  "); got != n {
+		t.Errorf("reporter logged %d point lines, want %d\n%s", got, n, out)
+	}
+	for i := 1; i <= n; i++ {
+		if strings.Count(out, fmt.Sprintf("point  %d/%d", i, n)) != 1 {
+			t.Errorf("missing point %d/%d line\n%s", i, n, out)
+		}
+	}
+}

@@ -25,58 +25,78 @@ func FigE23(c Config) *Table {
 	if c.Quick {
 		reps = 3
 	}
+	g := c.Grid("E23")
+	seeded := func(par sim.Paradigm, pol sched.Kind, streams int, arr traffic.Spec, seed int64) sim.Params {
+		p := sim.Params{
+			Paradigm: par, Policy: pol, Streams: streams,
+			Arrival: arr, Seed: seed,
+		}
+		p.MeasuredPackets = c.packets()
+		return p
+	}
+	// Each metric declares a pair of runs per replication seed and
+	// evaluates the comparison from the pair's Results.
 	type metric struct {
-		name string
-		eval func(seed int64) (value float64, holds bool)
+		name    string
+		declare func(seed int64) [2]*Point
+		eval    func(a, b sim.Results) (value float64, holds bool)
 	}
 	metrics := []metric{
-		{"MRU delay reduction vs FCFS (%, 2000 pkt/s)", func(seed int64) (float64, bool) {
-			mk := func(pol sched.Kind) sim.Results {
-				p := sim.Params{
-					Paradigm: sim.Locking, Policy: pol, Streams: 8,
-					Arrival: traffic.Poisson{PacketsPerSec: 2000},
-					Seed:    seed,
+		{
+			name: "MRU delay reduction vs FCFS (%, 2000 pkt/s)",
+			declare: func(seed int64) [2]*Point {
+				arr := traffic.Poisson{PacketsPerSec: 2000}
+				return [2]*Point{
+					g.AddExact(fmt.Sprintf("FCFS seed=%d", seed), seeded(sim.Locking, sched.FCFS, 8, arr, seed)),
+					g.AddExact(fmt.Sprintf("MRU seed=%d", seed), seeded(sim.Locking, sched.MRU, 8, arr, seed)),
 				}
-				p.MeasuredPackets = c.packets()
-				return sim.Run(p)
-			}
-			fcfs, mru := mk(sched.FCFS), mk(sched.MRU)
-			red := 100 * (1 - mru.MeanDelay/fcfs.MeanDelay)
-			return red, red > 0
-		}},
-		{"IPS latency advantage vs Locking (x, 1500 pkt/s)", func(seed int64) (float64, bool) {
-			lp := sim.Params{
-				Paradigm: sim.Locking, Policy: sched.MRU, Streams: 16,
-				Arrival: traffic.Poisson{PacketsPerSec: 1500}, Seed: seed,
-			}
-			lp.MeasuredPackets = c.packets()
-			ip := sim.Params{
-				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 16,
-				Arrival: traffic.Poisson{PacketsPerSec: 1500}, Seed: seed,
-			}
-			ip.MeasuredPackets = c.packets()
-			adv := sim.Run(lp).MeanDelay / sim.Run(ip).MeanDelay
-			return adv, adv > 1
-		}},
-		{"IPS/Locking burst-delay ratio (burst 16)", func(seed int64) (float64, bool) {
-			mk := func(par sim.Paradigm, pol sched.Kind) sim.Results {
-				p := sim.Params{
-					Paradigm: par, Policy: pol, Streams: 8,
-					Arrival: traffic.Batch{PacketsPerSec: 1000, MeanBurst: 16},
-					Seed:    seed,
+			},
+			eval: func(fcfs, mru sim.Results) (float64, bool) {
+				red := 100 * (1 - mru.MeanDelay/fcfs.MeanDelay)
+				return red, red > 0
+			},
+		},
+		{
+			name: "IPS latency advantage vs Locking (x, 1500 pkt/s)",
+			declare: func(seed int64) [2]*Point {
+				arr := traffic.Poisson{PacketsPerSec: 1500}
+				return [2]*Point{
+					g.AddExact(fmt.Sprintf("Locking seed=%d", seed), seeded(sim.Locking, sched.MRU, 16, arr, seed)),
+					g.AddExact(fmt.Sprintf("IPS seed=%d", seed), seeded(sim.IPS, sched.IPSWired, 16, arr, seed)),
 				}
-				p.MeasuredPackets = c.packets()
-				return sim.Run(p)
-			}
-			ratio := mk(sim.IPS, sched.IPSWired).MeanDelay / mk(sim.Locking, sched.MRU).MeanDelay
-			return ratio, ratio > 1
-		}},
+			},
+			eval: func(lock, ips sim.Results) (float64, bool) {
+				adv := lock.MeanDelay / ips.MeanDelay
+				return adv, adv > 1
+			},
+		},
+		{
+			name: "IPS/Locking burst-delay ratio (burst 16)",
+			declare: func(seed int64) [2]*Point {
+				arr := traffic.Batch{PacketsPerSec: 1000, MeanBurst: 16}
+				return [2]*Point{
+					g.AddExact(fmt.Sprintf("IPS burst seed=%d", seed), seeded(sim.IPS, sched.IPSWired, 8, arr, seed)),
+					g.AddExact(fmt.Sprintf("Locking burst seed=%d", seed), seeded(sim.Locking, sched.MRU, 8, arr, seed)),
+				}
+			},
+			eval: func(ips, lock sim.Results) (float64, bool) {
+				ratio := ips.MeanDelay / lock.MeanDelay
+				return ratio, ratio > 1
+			},
+		},
 	}
-	for _, m := range metrics {
+	pairs := make([][][2]*Point, len(metrics))
+	for i, m := range metrics {
+		for r := 0; r < reps; r++ {
+			pairs[i] = append(pairs[i], m.declare(1000+int64(r)*7919))
+		}
+	}
+	g.Run()
+	for i, m := range metrics {
 		var acc stats.Accumulator
 		holds := 0
-		for r := 0; r < reps; r++ {
-			v, ok := m.eval(1000 + int64(r)*7919)
+		for _, pair := range pairs[i] {
+			v, ok := m.eval(pair[0].Results(), pair[1].Results())
 			acc.Add(v)
 			if ok {
 				holds++
@@ -109,26 +129,34 @@ func FigE24(c Config) *Table {
 		scales = []float64{0.1, 1, 4}
 	}
 	base := core.PaperCalibration()
+	g := c.Grid("E24")
+	type row struct {
+		scale     float64
+		calib     core.Calibration
+		fcfs, mru *Point
+	}
+	var rows []row
 	for _, scale := range scales {
 		calib := core.Calibration{
 			TWarm:   base.TWarm,
 			TL1Cold: base.TWarm + (base.TL1Cold-base.TWarm)*scale,
 			TCold:   base.TWarm + (base.TCold-base.TWarm)*scale,
 		}
-		mk := func(pol sched.Kind) sim.Results {
+		mk := func(pol sched.Kind) *Point {
 			m := core.NewModel()
 			m.Calib = calib
-			p := sim.Params{
+			return g.Add(fmt.Sprintf("%v scale=%g", pol, scale), sim.Params{
 				Model:    m,
 				Paradigm: sim.Locking, Policy: pol, Streams: 8,
 				Arrival: traffic.Poisson{PacketsPerSec: 2000},
-				Seed:    c.Seed,
-			}
-			p.MeasuredPackets = c.packets()
-			return sim.Run(p)
+			})
 		}
-		fcfs, mru := mk(sched.FCFS), mk(sched.MRU)
-		t.AddRow(fmt.Sprintf("%.2fx", scale), fmt.Sprintf("%.1f", calib.TCold),
+		rows = append(rows, row{scale, calib, mk(sched.FCFS), mk(sched.MRU)})
+	}
+	g.Run()
+	for _, r := range rows {
+		fcfs, mru := r.fcfs.Results(), r.mru.Results()
+		t.AddRow(fmt.Sprintf("%.2fx", r.scale), fmt.Sprintf("%.1f", r.calib.TCold),
 			fmtDelay(fcfs), fmtDelay(mru),
 			fmt.Sprintf("%.1f%%", 100*(1-mru.MeanDelay/fcfs.MeanDelay)))
 	}

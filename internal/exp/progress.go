@@ -9,18 +9,20 @@ import (
 	"affinity/internal/sim"
 )
 
-// Reporter logs per-experiment progress and timing: wall-clock duration,
-// the number of simulator events fired while the experiment ran, and the
-// resulting event rate. It is safe for concurrent use (paperfigs runs
-// experiments in parallel); event counts are drawn from the simulator's
-// global counter, so under concurrency each experiment's count includes
-// events fired by experiments that overlapped it — the report labels
-// such counts accordingly.
+// Reporter logs experiment progress and timing: per-experiment
+// wall-clock duration and event rates, and — for experiments running on
+// the sweep-point grid — per-point completions (points done / total and
+// the cumulative event rate since the experiment started). It is safe
+// for concurrent use (paperfigs runs experiments in parallel); event
+// counts are drawn from the simulator's global counter, so under
+// concurrency each experiment's count includes events fired by
+// experiments that overlapped it — the report labels such counts
+// accordingly.
 type Reporter struct {
 	mu     sync.Mutex
 	w      io.Writer
 	now    func() time.Time
-	active map[string]expStart
+	active map[string]*expStart
 	// inflight tracks overlap so concurrent runs can be flagged.
 	inflight int
 }
@@ -29,11 +31,14 @@ type expStart struct {
 	wall    time.Time
 	events  uint64
 	overlap bool
+
+	pointsTotal int
+	pointsDone  int
 }
 
 // NewReporter returns a Reporter writing human-readable lines to w.
 func NewReporter(w io.Writer) *Reporter {
-	return &Reporter{w: w, now: time.Now, active: map[string]expStart{}}
+	return &Reporter{w: w, now: time.Now, active: map[string]*expStart{}}
 }
 
 // Start records the beginning of the experiment with the given ID.
@@ -41,12 +46,42 @@ func (r *Reporter) Start(id, title string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.inflight++
-	r.active[id] = expStart{
+	r.active[id] = &expStart{
 		wall:    r.now(),
 		events:  sim.TotalEventsFired(),
 		overlap: r.inflight > 1,
 	}
 	fmt.Fprintf(r.w, "%-4s start  %s\n", id, title)
+}
+
+// Points records how many sweep points the experiment's grid declared;
+// subsequent PointDone calls report progress against this total.
+// Unknown IDs are ignored.
+func (r *Reporter) Points(id string, total int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.active[id]; ok {
+		s.pointsTotal = total
+	}
+}
+
+// PointDone records the completion of one sweep point and logs points
+// done / total with the cumulative event rate since the experiment
+// started. Unknown IDs are ignored.
+func (r *Reporter) PointDone(id, label string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.active[id]
+	if !ok {
+		return
+	}
+	s.pointsDone++
+	rate := ""
+	if secs := r.now().Sub(s.wall).Seconds(); secs > 0 {
+		events := sim.TotalEventsFired() - s.events
+		rate = fmt.Sprintf("  %.3g events/s", float64(events)/secs)
+	}
+	fmt.Fprintf(r.w, "%-4s point  %d/%d  %s%s\n", id, s.pointsDone, s.pointsTotal, label, rate)
 }
 
 // Done records the end of the experiment with the given ID and prints
@@ -74,5 +109,9 @@ func (r *Reporter) Done(id string) {
 	if s.overlap {
 		qual = " (incl. concurrent runs)"
 	}
-	fmt.Fprintf(r.w, "%-4s done   %v  %d events%s%s\n", id, wall.Round(time.Millisecond), events, qual, rate)
+	points := ""
+	if s.pointsTotal > 0 {
+		points = fmt.Sprintf("  %d points", s.pointsTotal)
+	}
+	fmt.Fprintf(r.w, "%-4s done   %v%s  %d events%s%s\n", id, wall.Round(time.Millisecond), points, events, qual, rate)
 }

@@ -24,28 +24,43 @@ func FigE11(c Config) *Table {
 	if c.Quick {
 		counts = []int{16, 48, 96}
 	}
-	supported := map[string]int{}
+	cfgs := []struct {
+		name string
+		par  sim.Paradigm
+		pol  sched.Kind
+	}{
+		{"Locking FCFS", sim.Locking, sched.FCFS},
+		{"Locking MRU", sim.Locking, sched.MRU},
+		{"IPS Wired", sim.IPS, sched.IPSWired},
+	}
+	g := c.Grid("E11")
+	type row struct {
+		n   int
+		pts []*Point
+	}
+	var rows []row
 	for _, n := range counts {
-		row := []any{n}
-		for _, cfg := range []struct {
-			name string
-			par  sim.Paradigm
-			pol  sched.Kind
-		}{
-			{"Locking FCFS", sim.Locking, sched.FCFS},
-			{"Locking MRU", sim.Locking, sched.MRU},
-			{"IPS Wired", sim.IPS, sched.IPSWired},
-		} {
-			res := run(c, sim.Params{
+		r := row{n: n}
+		for _, cfg := range cfgs {
+			r.pts = append(r.pts, g.Add(fmt.Sprintf("%s n=%d", cfg.name, n), sim.Params{
 				Paradigm: cfg.par, Policy: cfg.pol, Streams: n,
 				Arrival: traffic.Poisson{PacketsPerSec: perStream},
-			})
-			row = append(row, fmtDelay(res))
-			if !res.Saturated && res.MeanDelay <= budget && n > supported[cfg.name] {
-				supported[cfg.name] = n
+			}))
+		}
+		rows = append(rows, r)
+	}
+	g.Run()
+	supported := map[string]int{}
+	for _, r := range rows {
+		cells := []any{r.n}
+		for i, pt := range r.pts {
+			res := pt.Results()
+			cells = append(cells, fmtDelay(res))
+			if !res.Saturated && res.MeanDelay <= budget && r.n > supported[cfgs[i].name] {
+				supported[cfgs[i].name] = r.n
 			}
 		}
-		t.AddRow(row...)
+		t.AddRow(cells...)
 	}
 	t.Note("streams supported within a %.0f µs mean-delay budget: FCFS %d, MRU %d, IPS %d",
 		budget, supported["Locking FCFS"], supported["Locking MRU"], supported["IPS Wired"])
@@ -65,8 +80,14 @@ func FigE12(c Config) *Table {
 	if c.Quick {
 		offered = []float64{4000, 12000, 24000}
 	}
+	g := c.Grid("E12")
+	type row struct {
+		rate float64
+		pts  []*Point
+	}
+	var rows []row
 	for _, rate := range offered {
-		row := []any{rate}
+		r := row{rate: rate}
 		for _, cfg := range []struct {
 			par sim.Paradigm
 			pol sched.Kind
@@ -82,16 +103,24 @@ func FigE12(c Config) *Table {
 			}
 			p.Seed = c.Seed
 			p.MeasuredPackets = 1 << 30
-			res := sim.Run(p)
+			r.pts = append(r.pts, g.AddExact(fmt.Sprintf("%v %v @%g", cfg.par, cfg.pol, rate), p))
+		}
+		rows = append(rows, r)
+	}
+	g.Run()
+	for _, r := range rows {
+		cells := []any{r.rate}
+		for _, pt := range r.pts {
+			res := pt.Results()
 			cell := fmt.Sprintf("%.0f", res.Throughput)
 			// These runs always exhaust the horizon; flag only genuine
 			// overload (delivered meaningfully below offered).
-			if res.Throughput < 0.95*rate {
+			if res.Throughput < 0.95*r.rate {
 				cell += "*"
 			}
-			row = append(row, cell)
+			cells = append(cells, cell)
 		}
-		t.AddRow(row...)
+		t.AddRow(cells...)
 	}
 	t.Note("IPS caps at one processor (~1/t_warm ≈ 6.7k pkt/s); Locking scales a single stream across processors up to the lock ceiling")
 	t.Note("abstract: IPS \"exhibits … limited intra-stream scalability\"")
@@ -110,16 +139,29 @@ func FigE13(c Config) *Table {
 	if c.Quick {
 		bursts = []float64{1, 8, 32}
 	}
+	g := c.Grid("E13")
+	type row struct {
+		b         float64
+		lock, ips *Point
+	}
+	var rows []row
 	for _, b := range bursts {
-		lock := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8,
-			Arrival: traffic.Batch{PacketsPerSec: 1000, MeanBurst: b},
+		rows = append(rows, row{
+			b: b,
+			lock: g.Add(fmt.Sprintf("Locking b=%g", b), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8,
+				Arrival: traffic.Batch{PacketsPerSec: 1000, MeanBurst: b},
+			}),
+			ips: g.Add(fmt.Sprintf("IPS b=%g", b), sim.Params{
+				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8,
+				Arrival: traffic.Batch{PacketsPerSec: 1000, MeanBurst: b},
+			}),
 		})
-		ips := run(c, sim.Params{
-			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8,
-			Arrival: traffic.Batch{PacketsPerSec: 1000, MeanBurst: b},
-		})
-		t.AddRow(b, fmtDelay(lock), fmtDelay(ips),
+	}
+	g.Run()
+	for _, r := range rows {
+		lock, ips := r.lock.Results(), r.ips.Results()
+		t.AddRow(r.b, fmtDelay(lock), fmtDelay(ips),
 			fmt.Sprintf("%.2fx", ips.MeanDelay/lock.MeanDelay))
 	}
 	t.Note("a burst lands on one stream: Locking fans it across processors, IPS serializes it behind one stack")
@@ -139,12 +181,22 @@ func FigE14(c Config) *Table {
 	if c.Quick {
 		stacks = []int{2, 8, 16}
 	}
+	g := c.Grid("E14")
+	type row struct {
+		k  int
+		pt *Point
+	}
+	var rows []row
 	for _, k := range stacks {
-		res := run(c, sim.Params{
+		rows = append(rows, row{k, g.Add(fmt.Sprintf("stacks=%d", k), sim.Params{
 			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 16, Stacks: k,
 			Arrival: traffic.Poisson{PacketsPerSec: 1000},
-		})
-		t.AddRow(k, fmtDelay(res), fmt.Sprintf("%.2f", res.WarmFraction),
+		})})
+	}
+	g.Run()
+	for _, r := range rows {
+		res := r.pt.Results()
+		t.AddRow(r.k, fmtDelay(res), fmt.Sprintf("%.2f", res.WarmFraction),
 			fmt.Sprintf("%.0f", res.Throughput))
 	}
 	t.Note("few stacks serialize streams behind too few threads; many stacks (more than processors) share processors and displace each other")
@@ -164,6 +216,12 @@ func FigE15(c Config) *Table {
 	if c.Quick {
 		lengths = []float64{1, 16}
 	}
+	g := c.Grid("E15")
+	type row struct {
+		l         float64
+		fcfs, mru *Point
+	}
+	var rows []row
 	for _, l := range lengths {
 		var spec traffic.Spec
 		if l == 1 {
@@ -171,13 +229,20 @@ func FigE15(c Config) *Table {
 		} else {
 			spec = traffic.Train{PacketsPerSec: 1000, MeanTrainLen: l, IntraGap: 150}
 		}
-		fcfs := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.FCFS, Streams: 8, Arrival: spec,
+		rows = append(rows, row{
+			l: l,
+			fcfs: g.Add(fmt.Sprintf("FCFS train=%g", l), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.FCFS, Streams: 8, Arrival: spec,
+			}),
+			mru: g.Add(fmt.Sprintf("MRU train=%g", l), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8, Arrival: spec,
+			}),
 		})
-		mru := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.MRU, Streams: 8, Arrival: spec,
-		})
-		t.AddRow(l, fmtDelay(fcfs), fmtDelay(mru),
+	}
+	g.Run()
+	for _, r := range rows {
+		fcfs, mru := r.fcfs.Results(), r.mru.Results()
+		t.AddRow(r.l, fmtDelay(fcfs), fmtDelay(mru),
 			fmt.Sprintf("%.2f", mru.WarmFraction),
 			fmt.Sprintf("%.1f%%", 100*(1-mru.MeanDelay/fcfs.MeanDelay)))
 	}
@@ -202,11 +267,25 @@ func FigE16(c Config) *Table {
 	}
 	lockRates := rates(c, []float64{1000, 2000, 3000, 3500, 4000, 4300})
 	ipsRates := rates(c, []float64{1000, 2000, 3000, 4000, 5000, 5500})
+	g := c.Grid("E16")
+	type row struct {
+		dt        float64
+		lock, ips []reductionRow
+	}
+	var rows []row
 	for _, dt := range touches {
+		rows = append(rows, row{
+			dt:   dt,
+			lock: declareReductionSweep(g, sim.Locking, dt, lockRates),
+			ips:  declareReductionSweep(g, sim.IPS, dt, ipsRates),
+		})
+	}
+	g.Run()
+	for _, r := range rows {
 		scratch := &Table{}
-		lockPeak := reductionSweep(c, sim.Locking, dt, lockRates, scratch)
-		ipsPeak := reductionSweep(c, sim.IPS, dt, ipsRates, scratch)
-		t.AddRow(dt, fmt.Sprintf("%.0f", dt*32),
+		lockPeak := renderReductionSweep(scratch, r.lock)
+		ipsPeak := renderReductionSweep(scratch, r.ips)
+		t.AddRow(r.dt, fmt.Sprintf("%.0f", r.dt*32),
 			fmt.Sprintf("%.1f%%", 100*lockPeak),
 			fmt.Sprintf("%.1f%%", 100*ipsPeak))
 	}

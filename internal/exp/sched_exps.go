@@ -10,13 +10,6 @@ import (
 	"affinity/internal/traffic"
 )
 
-// run executes one simulation with the experiment's defaults.
-func run(c Config, p sim.Params) sim.Results {
-	p.Seed = c.Seed
-	p.MeasuredPackets = c.packets()
-	return sim.Run(p)
-}
-
 // fmtDelay renders a delay cell, flagging saturated operating points the
 // way the paper's curves simply leave the region: the number is the
 // (unbounded, horizon-limited) transient value.
@@ -25,6 +18,15 @@ func fmtDelay(r sim.Results) string {
 		return fmt.Sprintf("%.0f*", r.MeanDelay)
 	}
 	return fmt.Sprintf("%.1f", r.MeanDelay)
+}
+
+// fmtP95 renders a 95th-percentile delay cell, marking values clamped at
+// the delay histogram's upper bound as the lower bounds they are.
+func fmtP95(r sim.Results) string {
+	if r.P95Clamped {
+		return fmt.Sprintf(">%.1f", r.P95Delay)
+	}
+	return fmt.Sprintf("%.1f", r.P95Delay)
 }
 
 func rates(c Config, full []float64) []float64 {
@@ -43,15 +45,26 @@ func FigE5(c Config) *Table {
 		Title:   "Locking: mean delay (µs) vs per-stream rate — FCFS vs MRU, 8 streams",
 		Columns: []string{"rate (pkt/s/stream)", "FCFS", "MRU", "MRU warm frac", "reduction"},
 	}
+	g := c.Grid("E5")
+	type row struct {
+		rate      float64
+		fcfs, mru *Point
+	}
+	var rows []row
 	for _, rate := range rates(c, []float64{250, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4300}) {
 		base := sim.Params{
 			Paradigm: sim.Locking, Policy: sched.FCFS, Streams: 8,
 			Arrival: traffic.Poisson{PacketsPerSec: rate},
 		}
-		fcfs := run(c, base)
+		fcfs := g.Add(fmt.Sprintf("FCFS @%g", rate), base)
 		base.Policy = sched.MRU
-		mru := run(c, base)
-		t.AddRow(rate, fmtDelay(fcfs), fmtDelay(mru),
+		mru := g.Add(fmt.Sprintf("MRU @%g", rate), base)
+		rows = append(rows, row{rate, fcfs, mru})
+	}
+	g.Run()
+	for _, r := range rows {
+		fcfs, mru := r.fcfs.Results(), r.mru.Results()
+		t.AddRow(r.rate, fmtDelay(fcfs), fmtDelay(mru),
 			fmt.Sprintf("%.2f", mru.WarmFraction),
 			fmt.Sprintf("%.1f%%", 100*(1-mru.MeanDelay/fcfs.MeanDelay)))
 	}
@@ -69,16 +82,30 @@ func FigE6(c Config) *Table {
 		Title:   "Locking: mean delay (µs) vs per-stream rate — MRU vs ThreadPools vs WiredStreams, 16 streams",
 		Columns: []string{"rate (pkt/s/stream)", "FCFS", "MRU", "ThreadPools", "WiredStreams"},
 	}
+	g := c.Grid("E6")
+	policies := []sched.Kind{sched.FCFS, sched.MRU, sched.ThreadPools, sched.WiredStreams}
+	type row struct {
+		rate float64
+		pts  []*Point
+	}
+	var rows []row
 	for _, rate := range rates(c, []float64{250, 500, 750, 1000, 1250, 1500, 1750, 2000, 2200, 2400}) {
-		row := []any{rate}
-		for _, pol := range []sched.Kind{sched.FCFS, sched.MRU, sched.ThreadPools, sched.WiredStreams} {
-			res := run(c, sim.Params{
+		r := row{rate: rate}
+		for _, pol := range policies {
+			r.pts = append(r.pts, g.Add(fmt.Sprintf("%v @%g", pol, rate), sim.Params{
 				Paradigm: sim.Locking, Policy: pol, Streams: 16,
 				Arrival: traffic.Poisson{PacketsPerSec: rate},
-			})
-			row = append(row, fmtDelay(res))
+			}))
 		}
-		t.AddRow(row...)
+		rows = append(rows, r)
+	}
+	g.Run()
+	for _, r := range rows {
+		cells := []any{r.rate}
+		for _, pt := range r.pts {
+			cells = append(cells, fmtDelay(pt.Results()))
+		}
+		t.AddRow(cells...)
 	}
 	t.Note("paper: \"Under Locking, processors should be managed MRU — except under high arrival rate, when Wired-Streams scheduling performs better.\"")
 	return t
@@ -93,28 +120,49 @@ func FigE7(c Config) *Table {
 		Title:   "IPS: mean delay (µs) vs per-stream rate — Wired vs MRU vs Random, 16 streams, 16 stacks",
 		Columns: []string{"rate (pkt/s/stream)", "Wired", "MRU", "Random"},
 	}
+	g := c.Grid("E7")
+	policies := []sched.Kind{sched.IPSWired, sched.IPSMRU, sched.IPSRandom}
+	type row struct {
+		rate float64
+		pts  []*Point
+	}
+	var rows []row
 	for _, rate := range rates(c, []float64{100, 250, 500, 1000, 1500, 2000, 2500}) {
-		row := []any{rate}
-		for _, pol := range []sched.Kind{sched.IPSWired, sched.IPSMRU, sched.IPSRandom} {
-			res := run(c, sim.Params{
+		r := row{rate: rate}
+		for _, pol := range policies {
+			r.pts = append(r.pts, g.Add(fmt.Sprintf("%v @%g", pol, rate), sim.Params{
 				Paradigm: sim.IPS, Policy: pol, Streams: 16, Stacks: 16,
 				Arrival: traffic.Poisson{PacketsPerSec: rate},
-			})
-			row = append(row, fmtDelay(res))
+			}))
 		}
-		t.AddRow(row...)
+		rows = append(rows, r)
+	}
+	g.Run()
+	for _, r := range rows {
+		cells := []any{r.rate}
+		for _, pt := range r.pts {
+			cells = append(cells, fmtDelay(pt.Results()))
+		}
+		t.AddRow(cells...)
 	}
 	t.Note("paper: \"Under IPS, independent stacks should be wired to processors — except under low arrival rate, when MRU processor scheduling performs better.\"")
 	return t
 }
 
-// reductionSweep computes the affinity delay reduction — the best
-// affinity policy against the no-affinity baseline — across arrival
-// rates, for one per-packet data-touch cost.
-func reductionSweep(c Config, paradigm sim.Paradigm, dataTouch float64, rateList []float64, t *Table) float64 {
-	maxRed := 0.0
+// reductionRow pairs one operating point's no-affinity baseline with the
+// two affinity policies it is judged against.
+type reductionRow struct {
+	dataTouch, rate float64
+	baseline, a, b  *Point
+}
+
+// declareReductionSweep declares the affinity delay-reduction comparison
+// — the best affinity policy against the no-affinity baseline — across
+// arrival rates, for one per-packet data-touch cost.
+func declareReductionSweep(g *Grid, paradigm sim.Paradigm, dataTouch float64, rateList []float64) []reductionRow {
+	var rows []reductionRow
 	for _, rate := range rateList {
-		mk := func(pol sched.Kind) sim.Results {
+		mk := func(pol sched.Kind) *Point {
 			p := sim.Params{
 				Paradigm: paradigm, Policy: pol, Streams: 8,
 				Arrival:   traffic.Poisson{PacketsPerSec: rate},
@@ -123,14 +171,25 @@ func reductionSweep(c Config, paradigm sim.Paradigm, dataTouch float64, rateList
 			if paradigm == sim.IPS {
 				p.Stacks = 8
 			}
-			return run(c, p)
+			return g.Add(fmt.Sprintf("%v %v V=%g @%g", paradigm, pol, dataTouch, rate), p)
 		}
-		var baseline, a, b sim.Results
+		r := reductionRow{dataTouch: dataTouch, rate: rate}
 		if paradigm == sim.Locking {
-			baseline, a, b = mk(sched.FCFS), mk(sched.MRU), mk(sched.WiredStreams)
+			r.baseline, r.a, r.b = mk(sched.FCFS), mk(sched.MRU), mk(sched.WiredStreams)
 		} else {
-			baseline, a, b = mk(sched.IPSRandom), mk(sched.IPSMRU), mk(sched.IPSWired)
+			r.baseline, r.a, r.b = mk(sched.IPSRandom), mk(sched.IPSMRU), mk(sched.IPSWired)
 		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// renderReductionSweep turns completed reduction rows into table rows and
+// returns the maximum reduction over unsaturated operating points.
+func renderReductionSweep(t *Table, rows []reductionRow) float64 {
+	maxRed := 0.0
+	for _, r := range rows {
+		baseline, a, b := r.baseline.Results(), r.a.Results(), r.b.Results()
 		best := math.Min(a.MeanDelay, b.MeanDelay)
 		red := 1 - best/baseline.MeanDelay
 		cell := fmt.Sprintf("%.1f%%", 100*red)
@@ -139,7 +198,7 @@ func reductionSweep(c Config, paradigm sim.Paradigm, dataTouch float64, rateList
 		} else if red > maxRed {
 			maxRed = red
 		}
-		t.AddRow(dataTouch, rate, fmtDelay(baseline), fmt.Sprintf("%.1f", best), cell)
+		t.AddRow(r.dataTouch, r.rate, fmtDelay(baseline), fmt.Sprintf("%.1f", best), cell)
 	}
 	return maxRed
 }
@@ -155,10 +214,17 @@ func FigE8(c Config) *Table {
 		Title:   "Locking: % delay reduction from affinity scheduling (best of MRU/Wired vs FCFS)",
 		Columns: []string{"V (µs data-touch)", "rate (pkt/s/stream)", "no-affinity delay", "affinity delay", "reduction"},
 	}
+	g := c.Grid("E8")
 	rateList := rates(c, []float64{500, 1000, 2000, 3000, 3500, 4000, 4300})
+	sweeps := make(map[float64][]reductionRow)
+	touches := []float64{0, 35, 139}
+	for _, dt := range touches {
+		sweeps[dt] = declareReductionSweep(g, sim.Locking, dt, rateList)
+	}
+	g.Run()
 	best := 0.0
-	for _, dt := range []float64{0, 35, 139} {
-		r := reductionSweep(c, sim.Locking, dt, rateList, t)
+	for _, dt := range touches {
+		r := renderReductionSweep(t, sweeps[dt])
 		if dt == 0 {
 			best = r
 		}
@@ -176,10 +242,17 @@ func FigE9(c Config) *Table {
 		Title:   "IPS: % delay reduction from affinity scheduling (best of MRU/Wired vs Random)",
 		Columns: []string{"V (µs data-touch)", "rate (pkt/s/stream)", "no-affinity delay", "affinity delay", "reduction"},
 	}
+	g := c.Grid("E9")
 	rateList := rates(c, []float64{500, 1000, 2000, 3000, 4000, 5000, 5500})
+	sweeps := make(map[float64][]reductionRow)
+	touches := []float64{0, 35, 139}
+	for _, dt := range touches {
+		sweeps[dt] = declareReductionSweep(g, sim.IPS, dt, rateList)
+	}
+	g.Run()
 	best := 0.0
-	for _, dt := range []float64{0, 35, 139} {
-		r := reductionSweep(c, sim.IPS, dt, rateList, t)
+	for _, dt := range touches {
+		r := renderReductionSweep(t, sweeps[dt])
 		if dt == 0 {
 			best = r
 		}
@@ -196,27 +269,31 @@ func FigE10(c Config) *Table {
 		Title:   "Locking vs IPS: mean delay (µs) vs per-stream rate, 16 streams",
 		Columns: []string{"rate (pkt/s/stream)", "Locking (best)", "IPS (best)", "IPS advantage"},
 	}
-	for _, rate := range rates(c, []float64{250, 500, 1000, 1500, 2000, 2500, 3000}) {
-		lock := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.MRU, Streams: 16,
-			Arrival: traffic.Poisson{PacketsPerSec: rate},
-		})
-		wired := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.WiredStreams, Streams: 16,
-			Arrival: traffic.Poisson{PacketsPerSec: rate},
-		})
-		if wired.MeanDelay < lock.MeanDelay {
-			lock = wired
-		}
-		ips := run(c, sim.Params{
-			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 16,
-			Arrival: traffic.Poisson{PacketsPerSec: rate},
-		})
-		t.AddRow(rate, fmtDelay(lock), fmtDelay(ips),
-			fmt.Sprintf("%.2fx", lock.MeanDelay/ips.MeanDelay))
+	g := c.Grid("E10")
+	type row struct {
+		rate            float64
+		mru, wired, ips *Point
 	}
-	// Saturated capacity.
-	capOf := func(paradigm sim.Paradigm, pol sched.Kind) float64 {
+	var rows []row
+	for _, rate := range rates(c, []float64{250, 500, 1000, 1500, 2000, 2500, 3000}) {
+		rows = append(rows, row{
+			rate: rate,
+			mru: g.Add(fmt.Sprintf("Locking MRU @%g", rate), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.MRU, Streams: 16,
+				Arrival: traffic.Poisson{PacketsPerSec: rate},
+			}),
+			wired: g.Add(fmt.Sprintf("Locking Wired @%g", rate), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.WiredStreams, Streams: 16,
+				Arrival: traffic.Poisson{PacketsPerSec: rate},
+			}),
+			ips: g.Add(fmt.Sprintf("IPS Wired @%g", rate), sim.Params{
+				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 16,
+				Arrival: traffic.Poisson{PacketsPerSec: rate},
+			}),
+		})
+	}
+	// Saturated capacity probes: run to a fixed horizon, count completions.
+	capPoint := func(paradigm sim.Paradigm, pol sched.Kind) *Point {
 		p := sim.Params{
 			Paradigm: paradigm, Policy: pol, Streams: 16,
 			Arrival: traffic.Poisson{PacketsPerSec: 8000},
@@ -224,10 +301,22 @@ func FigE10(c Config) *Table {
 		}
 		p.Seed = c.Seed
 		p.MeasuredPackets = 1 << 30
-		return sim.Run(p).Throughput
+		return g.AddExact(fmt.Sprintf("%v capacity", paradigm), p)
 	}
-	lockCap := capOf(sim.Locking, sched.WiredStreams)
-	ipsCap := capOf(sim.IPS, sched.IPSWired)
+	lockCapPt := capPoint(sim.Locking, sched.WiredStreams)
+	ipsCapPt := capPoint(sim.IPS, sched.IPSWired)
+	g.Run()
+	for _, r := range rows {
+		lock := r.mru.Results()
+		if wired := r.wired.Results(); wired.MeanDelay < lock.MeanDelay {
+			lock = wired
+		}
+		ips := r.ips.Results()
+		t.AddRow(r.rate, fmtDelay(lock), fmtDelay(ips),
+			fmt.Sprintf("%.2fx", lock.MeanDelay/ips.MeanDelay))
+	}
+	lockCap := lockCapPt.Results().Throughput
+	ipsCap := ipsCapPt.Results().Throughput
 	t.Note("saturated throughput capacity: Locking %.0f pkt/s, IPS %.0f pkt/s (%.2fx)",
 		lockCap, ipsCap, ipsCap/lockCap)
 	t.Note("abstract: \"IPS delivers much lower message latency and significantly higher message throughput capacity\"")

@@ -23,15 +23,15 @@ func FigE20(c Config) *Table {
 	}
 	idle := workload.Idle()
 	warm := core.PaperCalibration().TWarm
+	g := c.Grid("E20")
 
-	addRow := func(name string, rhoLabel, theory, simWq float64) {
-		err := "—"
-		if theory > 1e-9 {
-			err = fmt.Sprintf("%.1f%%", 100*(simWq-theory)/theory)
-		}
-		t.AddRow(name, fmt.Sprintf("%.2f", rhoLabel),
-			fmt.Sprintf("%.1f", theory), fmt.Sprintf("%.1f", simWq), err)
+	type row struct {
+		name   string
+		rho    float64
+		theory float64
+		pt     *Point
 	}
+	var rows []row
 
 	// M/D/1: one stream wired to one stack; service is exactly t_warm.
 	rhos := []float64{0.3, 0.6, 0.8}
@@ -40,24 +40,30 @@ func FigE20(c Config) *Table {
 	}
 	for _, rho := range rhos {
 		lambda := rho / warm // packets per µs
-		res := run(c, sim.Params{
-			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 1, Stacks: 1,
-			Arrival:    traffic.Poisson{PacketsPerSec: lambda * 1e6},
-			Background: &idle,
+		rows = append(rows, row{
+			name: "M/D/1 (IPS, 1 stack)", rho: rho,
+			theory: queueing.MD1Wait(lambda, warm),
+			pt: g.Add(fmt.Sprintf("M/D/1 rho=%g", rho), sim.Params{
+				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 1, Stacks: 1,
+				Arrival:    traffic.Poisson{PacketsPerSec: lambda * 1e6},
+				Background: &idle,
+			}),
 		})
-		addRow("M/D/1 (IPS, 1 stack)", rho, queueing.MD1Wait(lambda, warm), res.MeanQueueing)
 	}
 
 	// 8 independent M/D/1 queues: eight wired stacks, one per processor.
 	{
 		rho := 0.6
 		lambda := rho / warm
-		res := run(c, sim.Params{
-			Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8, Stacks: 8,
-			Arrival:    traffic.Poisson{PacketsPerSec: lambda * 1e6},
-			Background: &idle,
+		rows = append(rows, row{
+			name: "8 × M/D/1 (IPS, 8 stacks)", rho: rho,
+			theory: queueing.MD1Wait(lambda, warm),
+			pt: g.Add("8xM/D/1", sim.Params{
+				Paradigm: sim.IPS, Policy: sched.IPSWired, Streams: 8, Stacks: 8,
+				Arrival:    traffic.Poisson{PacketsPerSec: lambda * 1e6},
+				Background: &idle,
+			}),
 		})
-		addRow("8 × M/D/1 (IPS, 8 stacks)", rho, queueing.MD1Wait(lambda, warm), res.MeanQueueing)
 	}
 
 	// M[X]/D/1 with geometric batches. Batch runs need more samples for
@@ -76,9 +82,11 @@ func FigE20(c Config) *Table {
 			Seed:       c.Seed,
 		}
 		p.MeasuredPackets = c.packets() * 4
-		res := sim.Run(p)
-		addRow(fmt.Sprintf("M[X]/D/1 (geometric, m=%.0f)", m), rho,
-			queueing.BatchGeoMD1Wait(lambda, warm, m), res.MeanQueueing)
+		rows = append(rows, row{
+			name: fmt.Sprintf("M[X]/D/1 (geometric, m=%.0f)", m), rho: rho,
+			theory: queueing.BatchGeoMD1Wait(lambda, warm, m),
+			pt:     g.AddExact(fmt.Sprintf("M[X]/D/1 m=%g", m), p),
+		})
 	}
 
 	// M/D/c: Locking FCFS with a fully shared footprint (no inter-stream
@@ -92,15 +100,28 @@ func FigE20(c Config) *Table {
 	}
 	for _, rho := range mdcRhos {
 		lambdaAgg := rho * 8 / lockS
-		res := run(c, sim.Params{
-			Paradigm: sim.Locking, Policy: sched.FCFS, Streams: 8,
-			Arrival:        traffic.Poisson{PacketsPerSec: lambdaAgg * 1e6 / 8},
-			Background:     &idle,
-			CodeSharedFrac: 1,
-			LockCritFrac:   1e-6,
+		rows = append(rows, row{
+			name: "M/D/8 (Locking, shared footprint)", rho: rho,
+			theory: queueing.MDcWaitApprox(8, lambdaAgg, lockS),
+			pt: g.Add(fmt.Sprintf("M/D/8 rho=%g", rho), sim.Params{
+				Paradigm: sim.Locking, Policy: sched.FCFS, Streams: 8,
+				Arrival:        traffic.Poisson{PacketsPerSec: lambdaAgg * 1e6 / 8},
+				Background:     &idle,
+				CodeSharedFrac: 1,
+				LockCritFrac:   1e-6,
+			}),
 		})
-		addRow("M/D/8 (Locking, shared footprint)", rho,
-			queueing.MDcWaitApprox(8, lambdaAgg, lockS), res.MeanQueueing)
+	}
+
+	g.Run()
+	for _, r := range rows {
+		simWq := r.pt.Results().MeanQueueing
+		errCell := "—"
+		if r.theory > 1e-9 {
+			errCell = fmt.Sprintf("%.1f%%", 100*(simWq-r.theory)/r.theory)
+		}
+		t.AddRow(r.name, fmt.Sprintf("%.2f", r.rho),
+			fmt.Sprintf("%.1f", r.theory), fmt.Sprintf("%.1f", simWq), errCell)
 	}
 
 	t.Note("theory: M/D/1 exact, M[X]/D/1 exact, M/D/c via the Allen–Cunneen approximation")

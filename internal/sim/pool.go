@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool executes simulation runs on a bounded number of worker slots and
+// memoizes results by canonical parameters: two submissions whose Params
+// describe the same run (after WithDefaults, comparing pointed-to model
+// and workload contents rather than pointer identity) simulate once and
+// share the Results. Concurrent submissions of the same configuration
+// coalesce — the second waits for the first instead of re-running.
+//
+// Because every run is deterministic given its Params, memoization is
+// observationally equivalent to re-running; callers must only treat the
+// slices inside a shared Results (PerProcBusyTime, PerStreamDelay,
+// Trace) as read-only.
+//
+// Runs with an attached Recorder are executed but never cached: a
+// recorder observes the event stream as a side effect, so sharing one
+// run's Results would silently drop the second observer's events.
+type Pool struct {
+	slots chan struct{}
+	mu    sync.Mutex
+	runs  map[string]*poolRun
+
+	hits, misses atomic.Uint64
+}
+
+type poolRun struct {
+	once sync.Once
+	res  Results
+}
+
+// NewPool returns a pool running at most workers simulations at once
+// (workers ≤ 0 selects GOMAXPROCS). The zero-cache, one-shot equivalent
+// of a pool is plain Run.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{
+		slots: make(chan struct{}, workers),
+		runs:  make(map[string]*poolRun),
+	}
+}
+
+// Run executes p (or returns the memoized Results of an identical
+// earlier run). It blocks until a worker slot is free and the run is
+// complete; it is safe for concurrent use.
+func (pl *Pool) Run(p Params) Results {
+	key, cacheable := CacheKey(p)
+	if !cacheable {
+		pl.misses.Add(1)
+		return pl.runLimited(p)
+	}
+	pl.mu.Lock()
+	r, seen := pl.runs[key]
+	if !seen {
+		r = &poolRun{}
+		pl.runs[key] = r
+	}
+	pl.mu.Unlock()
+	if seen {
+		pl.hits.Add(1)
+	} else {
+		pl.misses.Add(1)
+	}
+	r.once.Do(func() {
+		r.res = pl.runLimited(p)
+	})
+	return r.res
+}
+
+// RunAll executes every Params through the pool concurrently and returns
+// Results in input order.
+func (pl *Pool) RunAll(params []Params) []Results {
+	results := make([]Results, len(params))
+	var wg sync.WaitGroup
+	for i := range params {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = pl.Run(params[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Stats reports how many Run submissions were served from the cache
+// (including coalesced in-flight duplicates) and how many simulated.
+func (pl *Pool) Stats() (hits, misses uint64) {
+	return pl.hits.Load(), pl.misses.Load()
+}
+
+func (pl *Pool) runLimited(p Params) Results {
+	pl.slots <- struct{}{}
+	defer func() { <-pl.slots }()
+	return Run(p)
+}
+
+// CacheKey returns a canonical identity for the run p describes:
+// parameters are defaulted first, and pointed-to configuration (model,
+// background workload, arrival specs) enters by value, so two Params
+// built independently but describing the same run share a key. The
+// second return is false when the run is not cacheable (an attached
+// Recorder makes the run's event stream a side effect).
+func CacheKey(p Params) (string, bool) {
+	if p.Recorder != nil {
+		return "", false
+	}
+	p = p.WithDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%#v|%#v|", *p.Model, *p.Background)
+	fmt.Fprintf(&b, "%d|%v|%d|%d|%d|", p.Paradigm, p.Policy, p.Processors, p.Streams, p.Stacks)
+	fmt.Fprintf(&b, "%#v|", p.Arrival)
+	for _, s := range p.ArrivalPerStream {
+		fmt.Fprintf(&b, "%#v;", s)
+	}
+	fmt.Fprintf(&b, "|%v|%v|%v|%v|%d|%d|%d|",
+		p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch,
+		p.HybridOverflow, p.MRULookahead, p.Seed)
+	fmt.Fprintf(&b, "%v|%d|%v|%v|%d|%d|%v",
+		p.Warmup, p.MeasuredPackets, p.MaxTime, p.TargetRelCI,
+		p.TraceN, p.BatchSize, p.SamplePeriod)
+	return b.String(), true
+}
+
+// RunMany executes independent simulations concurrently on up to
+// workers goroutines (0 selects GOMAXPROCS) and returns results in input
+// order. Each run is deterministic given its own Params.Seed, so the
+// output is identical to running them sequentially; duplicate
+// configurations in params are simulated once and share their Results.
+func RunMany(params []Params, workers int) []Results {
+	return NewPool(workers).RunAll(params)
+}

@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"affinity/internal/core"
+	"affinity/internal/obs"
+	"affinity/internal/sched"
+	"affinity/internal/traffic"
+)
+
+func poolParams(seed int64) Params {
+	return Params{
+		Paradigm: Locking, Policy: sched.MRU, Streams: 4,
+		Arrival:         traffic.Poisson{PacketsPerSec: 800},
+		MeasuredPackets: 300,
+		Seed:            seed,
+	}
+}
+
+// Identical Params must simulate once: the second submission is a cache
+// hit returning the same Results.
+func TestPoolMemoizesDuplicateParams(t *testing.T) {
+	pl := NewPool(2)
+	a := pl.Run(poolParams(1))
+	b := pl.Run(poolParams(1))
+	if hits, misses := pl.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("cached result differs from original")
+	}
+	c := pl.Run(poolParams(2))
+	if hits, misses := pl.Stats(); hits != 1 || misses != 2 {
+		t.Errorf("stats after distinct seed = (%d, %d), want (1, 2)", hits, misses)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("distinct seeds returned identical results")
+	}
+}
+
+// The cache key is canonical: two Params built independently — distinct
+// but equal Model pointers, explicit defaults vs zero values — share one
+// cache entry.
+func TestPoolKeyIsCanonical(t *testing.T) {
+	pl := NewPool(1)
+	a := poolParams(1)
+	a.Model = core.NewModel()
+	b := poolParams(1)
+	b.Model = core.NewModel() // different pointer, same contents
+	b.Processors = core.NewModel().Platform.Processors
+	b.MRULookahead = 4 // the WithDefaults value, spelled explicitly
+	pl.Run(a)
+	pl.Run(b)
+	if hits, misses := pl.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 1)", hits, misses)
+	}
+	ka, _ := CacheKey(a)
+	kb, _ := CacheKey(b)
+	if ka != kb {
+		t.Errorf("keys differ:\n%s\n%s", ka, kb)
+	}
+}
+
+// Params that differ in any behavioral knob must not collide.
+func TestPoolKeySeparatesDistinctRuns(t *testing.T) {
+	base := poolParams(1)
+	kBase, _ := CacheKey(base)
+	for name, mutate := range map[string]func(*Params){
+		"policy":    func(p *Params) { p.Policy = sched.FCFS },
+		"rate":      func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 801} },
+		"burst":     func(p *Params) { p.Arrival = traffic.Batch{PacketsPerSec: 800, MeanBurst: 4} },
+		"seed":      func(p *Params) { p.Seed = 2 },
+		"datatouch": func(p *Params) { p.DataTouch = 35 },
+		"packets":   func(p *Params) { p.MeasuredPackets = 301 },
+		"lookahead": func(p *Params) { p.MRULookahead = 8 },
+	} {
+		p := base
+		mutate(&p)
+		if k, _ := CacheKey(p); k == kBase {
+			t.Errorf("%s: key collision", name)
+		}
+	}
+}
+
+// Runs with a Recorder observe events as a side effect and must never be
+// served from (or populate) the cache.
+func TestPoolRecorderRunsNotCached(t *testing.T) {
+	pl := NewPool(1)
+	p := poolParams(1)
+	m1, m2 := obs.NewMetrics(), obs.NewMetrics()
+	p.Recorder = m1
+	pl.Run(p)
+	p.Recorder = m2
+	pl.Run(p)
+	if hits, _ := pl.Stats(); hits != 0 {
+		t.Errorf("recorder run served from cache (%d hits)", hits)
+	}
+	if m1.Snapshot().Events == 0 || m2.Snapshot().Events == 0 {
+		t.Error("a recorder saw no events — its run was skipped")
+	}
+}
+
+// RunMany (now pool-backed) must return results in input order,
+// identical to serial execution, at any worker count.
+func TestRunManyMatchesSerial(t *testing.T) {
+	params := []Params{poolParams(1), poolParams(2), poolParams(3), poolParams(1)}
+	serial := make([]Results, len(params))
+	for i, p := range params {
+		serial[i] = Run(p)
+	}
+	for _, workers := range []int{1, 4} {
+		got := RunMany(params, workers)
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: results differ from serial", workers)
+		}
+	}
+}

@@ -342,9 +342,11 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 	cold := math.IsInf(x, 1)
 	if cold {
 		r.coldStarts++
-	} else if r.model.F1(x) < 0.5 {
-		r.warm++
 	}
+	// Warm hits are counted at completion (finish below), alongside the
+	// service accumulator that forms WarmFraction's denominator, so
+	// packets still in flight when the run stops never enter the ratio.
+	warmHit := !cold && r.model.F1(x) < 0.5
 	migrated := false
 	if last, ok := r.lastProcOf[pkt.Entity]; ok && last != proc {
 		r.migrations++
@@ -379,6 +381,12 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 		}
 	}
 
+	finish := func(protoExec float64) {
+		if warmHit {
+			r.warm++
+		}
+		done(pkt, proc, protoExec)
+	}
 	if locked {
 		nonCrit := preempt + r.p.LockOverhead + (1-r.p.LockCritFrac)*exec
 		crit := r.p.LockCritFrac * exec
@@ -388,14 +396,14 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 				r.lockWait.Add(float64(r.sim.Now() - requested))
 				r.sim.Schedule(des.Time(crit), func() {
 					r.lock.Release()
-					done(pkt, proc, exec+r.p.LockOverhead)
+					finish(exec + r.p.LockOverhead)
 				})
 			})
 		})
 		return
 	}
 	r.sim.Schedule(des.Time(preempt+exec), func() {
-		done(pkt, proc, exec)
+		finish(exec)
 	})
 }
 
@@ -559,7 +567,6 @@ func (r *runner) results() Results {
 		Arrivals:     r.arrivals,
 		MeanDelay:    r.delayAcc.Mean(),
 		DelayCI:      r.delays.HalfWidth(),
-		P95Delay:     r.delayHist.Quantile(0.95),
 		MaxDelay:     r.delayAcc.Max(),
 		MeanService:  r.service.Mean(),
 		MeanQueueing: r.queueing.Mean(),
@@ -573,6 +580,8 @@ func (r *runner) results() Results {
 		EventsFired:    r.sim.Fired(),
 		RecorderEvents: r.emitted,
 	}
+	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
+	res.DelayOverflow = r.delayHist.OverflowFraction()
 	totalEventsFired.Add(r.sim.Fired())
 	if r.p.Paradigm == Locking {
 		res.AffinityHits, res.Placements = r.disp.AffinityStats()

@@ -11,9 +11,6 @@ package sim
 
 import (
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"affinity/internal/core"
@@ -282,6 +279,14 @@ type Results struct {
 	P95Delay  float64
 	MaxDelay  float64
 
+	// P95Clamped reports that P95Delay was truncated at the delay
+	// histogram's fixed upper bound (100 ms): the true quantile lies in
+	// the overflow mass, so P95Delay is a lower bound, not a
+	// measurement. DelayOverflow is the fraction of measured delays at
+	// or above that bound (0 on healthy runs).
+	P95Clamped    bool
+	DelayOverflow float64
+
 	MeanService  float64 // execution time (model output + fixed costs)
 	MeanQueueing float64 // arrival → service start
 	MeanLockWait float64 // spin time on the shared-stack lock (Locking)
@@ -388,38 +393,4 @@ func Run(p Params) Results {
 	r.start()
 	r.sim.RunUntil(p.MaxTime)
 	return r.results()
-}
-
-// used by tests to silence unused import when math is trimmed later
-var _ = math.Inf
-
-// RunMany executes independent simulations concurrently on up to
-// workers goroutines (0 selects GOMAXPROCS) and returns results in input
-// order. Each run is deterministic given its own Params.Seed, so the
-// output is identical to running them sequentially.
-func RunMany(params []Params, workers int) []Results {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(params) {
-		workers = len(params)
-	}
-	results := make([]Results, len(params))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = Run(params[i])
-			}
-		}()
-	}
-	for i := range params {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return results
 }

@@ -133,3 +133,30 @@ func TestHistogramBoundaryBin(t *testing.T) {
 		t.Errorf("in-range samples counted as overflow")
 	}
 }
+
+// TestQuantileClamped checks that a quantile falling in the overflow
+// mass is flagged as clamped (the returned value is the histogram's
+// upper bound, a lower bound on the truth, not a measurement).
+func TestQuantileClamped(t *testing.T) {
+	h := NewHistogram(0, 100, 10)
+	for i := 0; i < 90; i++ {
+		h.Add(50)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(1e6) // overflow
+	}
+	if v, clamped := h.QuantileClamped(0.5); clamped || v == 100 {
+		t.Errorf("q50 = (%v, %v), want in-range and unclamped", v, clamped)
+	}
+	if v, clamped := h.QuantileClamped(0.95); !clamped || v != 100 {
+		t.Errorf("q95 = (%v, %v), want clamped at hi", v, clamped)
+	}
+	// Exactly at the overflow boundary: q = 0.90 is still representable.
+	if _, clamped := h.QuantileClamped(0.90); clamped {
+		t.Error("q90 flagged clamped at the exact boundary")
+	}
+	var empty Histogram
+	if v, clamped := (&empty).QuantileClamped(0.95); clamped || v != 0 {
+		t.Errorf("empty histogram = (%v, %v)", v, clamped)
+	}
+}

@@ -270,6 +270,17 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.hi
 }
 
+// QuantileClamped returns the q-quantile estimate along with whether the
+// estimate was clamped to the histogram's upper bound because the
+// quantile lies in the overflow mass (observations ≥ hi). A clamped
+// value is a lower bound on the true quantile, not a measurement.
+func (h *Histogram) QuantileClamped(q float64) (float64, bool) {
+	v := h.Quantile(q)
+	clamped := h.total > 0 && q > 0 && q < 1 &&
+		float64(h.total-h.over) < q*float64(h.total)
+	return v, clamped
+}
+
 // Counts returns a copy of the bin counts.
 func (h *Histogram) Counts() []uint64 {
 	out := make([]uint64, len(h.bins))
