@@ -1,0 +1,140 @@
+// Golden-file regression test: the quick experiment suite's stdout is
+// locked byte-for-byte. Any change to the simulator, the analytic
+// model, the RNG streams, the schedulers or the table formatting that
+// shifts a single digit in any experiment table fails this test — the
+// committed golden is the contract that optimization work preserves
+// every reproduced result exactly.
+//
+// Regenerate deliberately with:
+//
+//	go test -run TestPaperfigsQuickGolden -update .
+//
+// and review the diff like any other behavioural change.
+package affinity_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"affinity/internal/exp"
+	"affinity/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+const goldenPath = "testdata/paperfigs_quick.golden"
+
+// quickSuiteOutput reproduces `paperfigs -quick -parallel N` stdout
+// in-process: every experiment runs concurrently over a shared
+// sweep-point pool, tables print in declaration order, one blank line
+// after each.
+func quickSuiteOutput(parallel int) []byte {
+	experiments := exp.All()
+	cfg := exp.Config{Quick: true, Seed: 1, Pool: sim.NewPool(parallel)}
+	tables := make([]*exp.Table, len(experiments))
+	var wg sync.WaitGroup
+	for i, e := range experiments {
+		i, e := i, e
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tables[i] = e.Run(cfg)
+		}()
+	}
+	wg.Wait()
+	var buf bytes.Buffer
+	for _, table := range tables {
+		table.Fprint(&buf)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func TestPaperfigsQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite takes seconds; skipped with -short")
+	}
+	got := quickSuiteOutput(8)
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", goldenPath, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("quick suite output diverged from %s\n%s\n"+
+			"If the change is intentional, regenerate with -update and review the diff.",
+			goldenPath, diffLines(t, want, got))
+	}
+
+	// The pool must yield identical bytes at any worker count — run the
+	// suite again fully serialized and compare against the same golden.
+	if got1 := quickSuiteOutput(1); !bytes.Equal(got1, want) {
+		t.Fatalf("-parallel 1 output diverged from -parallel 8 golden\n%s",
+			diffLines(t, want, got1))
+	}
+}
+
+// diffLines reports the first few differing lines — enough to see what
+// moved without dumping 300 lines of tables.
+func diffLines(t *testing.T, want, got []byte) string {
+	t.Helper()
+	w := bytes.Split(want, []byte("\n"))
+	g := bytes.Split(got, []byte("\n"))
+	var out bytes.Buffer
+	shown := 0
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl []byte
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if !bytes.Equal(wl, gl) {
+			out.WriteString("line ")
+			out.WriteString(itoa(i + 1))
+			out.WriteString(":\n  want: ")
+			out.Write(wl)
+			out.WriteString("\n  got:  ")
+			out.Write(gl)
+			out.WriteByte('\n')
+			if shown++; shown >= 5 {
+				out.WriteString("  … (more differences elided)\n")
+				break
+			}
+		}
+	}
+	if shown == 0 {
+		out.WriteString("(lengths differ only in trailing bytes)\n")
+	}
+	return out.String()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

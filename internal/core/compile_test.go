@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The compiled evaluator must be bit-for-bit identical to the
+// interpreted model: the simulator's results (and the committed golden
+// file) depend on it.
+func TestCompileBitIdentical(t *testing.T) {
+	models := map[string]*Model{
+		"default": NewModel(),
+		"send":    NewSendModel(),
+		"tcp":     NewTCPModel(),
+	}
+	// A platform whose L1 halves differ and one without the split
+	// reference stream, to cover the non-deduplicated paths.
+	uneven := NewModel()
+	uneven.Platform.L1I = CacheConfig{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2}
+	models["unevenL1"] = uneven
+	unsplit := NewModel()
+	unsplit.Platform.L1SplitEvenRef = false
+	models["unsplit"] = unsplit
+
+	probes := []float64{0, -1, 0.5, 1, 2, 10, 1e3, 1e4, 123456.789,
+		1e6, 1e9, 1e15, math.Inf(1)}
+	for name, m := range models {
+		e := m.Compile()
+		for _, x := range probes {
+			if got, want := e.ExecTime(x), m.ExecTime(x); got != want {
+				t.Errorf("%s: Compile().ExecTime(%v) = %v, want %v", name, x, got, want)
+			}
+			if got, want := e.F1(x), m.F1(x); got != want {
+				t.Errorf("%s: Compile().F1(%v) = %v, want %v", name, x, got, want)
+			}
+			if got, want := e.F2(x), m.F2(x); got != want {
+				t.Errorf("%s: Compile().F2(%v) = %v, want %v", name, x, got, want)
+			}
+		}
+		// Property: identical across the continuum, not just the probes.
+		err := quick.Check(func(x float64) bool {
+			x = math.Abs(x)
+			te, f1 := e.ExecTimeF1(x)
+			return te == m.ExecTime(x) && f1 == m.F1(x)
+		}, &quick.Config{MaxCount: 2000})
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func BenchmarkExecTimeCompiled(b *testing.B) {
+	e := NewModel().Compile()
+	sum := 0.0
+	for i := 0; i < b.N; i++ {
+		sum += e.ExecTime(float64(i%200000) * 10)
+	}
+	_ = sum
+}

@@ -1,0 +1,149 @@
+package des
+
+import (
+	"testing"
+)
+
+// FuzzEventOrdering drives the simulator through arbitrary
+// schedule/cancel/step/run interleavings decoded from the fuzz input
+// and checks the engine's core guarantees after every operation:
+//
+//   - events fire in nondecreasing time, ties broken by scheduling
+//     order (the (time, seq) total order the runs' determinism rests on)
+//   - a cancelled event never fires, and firing marks the ref Cancelled
+//   - no event fires twice, none is lost
+//   - the 4-ary heap keeps its ordering invariant and index tracking
+//   - pooled nodes stay consistent: heap size + free size covers every
+//     node ever allocated, recycled nodes carry index -1
+func FuzzEventOrdering(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 20, 0, 5, 2, 2, 2})
+	f.Add([]byte{0, 10, 0, 10, 0, 10, 1, 1, 3, 255})
+	f.Add([]byte{0, 0, 0, 0, 2, 0, 1, 1, 2, 2, 3, 40, 0, 7, 2})
+	seed := make([]byte, 0, 96)
+	for i := 0; i < 32; i++ {
+		seed = append(seed, byte(i%4), byte(i*37), byte(i))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewSimulator()
+
+		type tracked struct {
+			ref       EventRef
+			at        Time
+			seq       uint64
+			cancelled bool
+			fired     bool
+		}
+		var all []*tracked
+		live := func() []*tracked {
+			var l []*tracked
+			for _, tr := range all {
+				if !tr.fired && !tr.cancelled {
+					l = append(l, tr)
+				}
+			}
+			return l
+		}
+
+		var lastAt Time
+		var lastSeq uint64
+		fired := 0
+		onFire := func(tr *tracked) {
+			if tr.cancelled {
+				t.Fatalf("cancelled event (at=%v seq=%d) fired", tr.at, tr.seq)
+			}
+			if tr.fired {
+				t.Fatalf("event (at=%v seq=%d) fired twice", tr.at, tr.seq)
+			}
+			tr.fired = true
+			fired++
+			if s.Now() != tr.at {
+				t.Fatalf("fired at clock %v, scheduled for %v", s.Now(), tr.at)
+			}
+			if tr.at < lastAt || (tr.at == lastAt && tr.seq < lastSeq) {
+				t.Fatalf("order violation: (%v, %d) after (%v, %d)",
+					tr.at, tr.seq, lastAt, lastSeq)
+			}
+			lastAt, lastSeq = tr.at, tr.seq
+		}
+
+		checkHeap := func() {
+			for i, ev := range s.events {
+				if int(ev.index) != i {
+					t.Fatalf("heap node %d carries index %d", i, ev.index)
+				}
+				if i > 0 {
+					p := s.events[(i-1)>>2]
+					if ev.at < p.at || (ev.at == p.at && ev.seq < p.seq) {
+						t.Fatalf("heap violation at %d: child (%v,%d) < parent (%v,%d)",
+							i, ev.at, ev.seq, p.at, p.seq)
+					}
+				}
+			}
+			for _, ev := range s.free {
+				if ev.index != -1 {
+					t.Fatalf("free node carries heap index %d", ev.index)
+				}
+				if ev.fn != nil || ev.arg != nil {
+					t.Fatal("free node retains handler state")
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, p := data[i]%4, data[i+1]
+			switch op {
+			case 0: // schedule p time units out
+				tr := &tracked{}
+				tr.ref = s.ScheduleArg(Time(p), func(arg any) {
+					onFire(arg.(*tracked))
+				}, tr)
+				tr.at = s.Now() + Time(p)
+				tr.seq = s.Scheduled() - 1
+				all = append(all, tr)
+			case 1: // cancel the p-th live event
+				if l := live(); len(l) > 0 {
+					tr := l[int(p)%len(l)]
+					s.Cancel(tr.ref)
+					tr.cancelled = true
+					if !tr.ref.Cancelled() {
+						t.Fatal("ref not Cancelled after Cancel")
+					}
+				}
+			case 2: // fire one event
+				s.Step()
+			case 3: // run out a horizon p units long
+				s.RunUntil(s.Now() + Time(p))
+			}
+			checkHeap()
+			if got := fired; got != int(s.Fired()) {
+				t.Fatalf("Fired() = %d, observed %d handler calls", s.Fired(), got)
+			}
+		}
+
+		// Drain: everything still live must fire, in order.
+		pending := len(live())
+		if pending != s.Pending() {
+			t.Fatalf("Pending() = %d, model says %d", s.Pending(), pending)
+		}
+		s.Run()
+		for _, tr := range all {
+			if !tr.cancelled && !tr.fired {
+				t.Fatalf("event (at=%v seq=%d) lost", tr.at, tr.seq)
+			}
+			if !tr.ref.Cancelled() {
+				t.Fatal("settled event's ref must report Cancelled")
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("%d events pending after Run", s.Pending())
+		}
+		// Every node ever allocated is now on the free list.
+		if s.PoolFree() < s.MaxPending() {
+			t.Fatalf("pool holds %d nodes, high-water mark was %d",
+				s.PoolFree(), s.MaxPending())
+		}
+	})
+}

@@ -8,7 +8,7 @@ type Resource struct {
 	sim      *Simulator
 	capacity int
 	inUse    int
-	waiters  []func()
+	waiters  waiterQueue
 
 	// Occupancy statistics (time-weighted).
 	lastChange Time
@@ -16,6 +16,41 @@ type Resource struct {
 	queueArea  float64 // integral of queue length over time
 	grants     uint64
 	waited     uint64
+}
+
+// waiter is one queued acquire request in the (fn, arg) calling
+// convention; plain Acquire closures ride through callHandler.
+type waiter struct {
+	fn  ArgHandler
+	arg any
+}
+
+// waiterQueue is a slice-backed FIFO that recycles its backing array:
+// popped slots are cleared and the head index advances, and the array
+// resets to the front whenever the queue drains, so steady-state
+// acquire/release traffic stops allocating.
+type waiterQueue struct {
+	buf  []waiter
+	head int
+}
+
+func (q *waiterQueue) len() int { return len(q.buf) - q.head }
+
+func (q *waiterQueue) push(w waiter) { q.buf = append(q.buf, w) }
+
+func (q *waiterQueue) pop() waiter {
+	w := q.buf[q.head]
+	q.buf[q.head] = waiter{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 32 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return w
 }
 
 // NewResource returns a resource with the given capacity attached to sim.
@@ -30,22 +65,29 @@ func (r *Resource) account() {
 	now := r.sim.Now()
 	dt := float64(now - r.lastChange)
 	r.busyArea += dt * float64(r.inUse)
-	r.queueArea += dt * float64(len(r.waiters))
+	r.queueArea += dt * float64(r.waiters.len())
 	r.lastChange = now
 }
 
 // Acquire requests one unit and calls grant when it is allocated. If a
 // unit is free the grant runs immediately (same simulation instant).
 func (r *Resource) Acquire(grant func()) {
+	r.AcquireArg(callHandler, Handler(grant))
+}
+
+// AcquireArg is Acquire in the (fn, arg) calling convention: with a
+// non-capturing fn and a pooled arg it performs no allocation, queued or
+// not — the hot-path variant for per-packet lock traffic.
+func (r *Resource) AcquireArg(fn ArgHandler, arg any) {
 	r.account()
 	if r.inUse < r.capacity {
 		r.inUse++
 		r.grants++
-		grant()
+		fn(arg)
 		return
 	}
 	r.waited++
-	r.waiters = append(r.waiters, grant)
+	r.waiters.push(waiter{fn: fn, arg: arg})
 }
 
 // TryAcquire takes a unit if one is free, reporting success. It never
@@ -67,11 +109,10 @@ func (r *Resource) Release() {
 	if r.inUse == 0 {
 		panic("des: release of idle resource")
 	}
-	if len(r.waiters) > 0 {
-		grant := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if r.waiters.len() > 0 {
+		w := r.waiters.pop()
 		r.grants++
-		grant()
+		w.fn(w.arg)
 		return
 	}
 	r.inUse--
@@ -81,7 +122,7 @@ func (r *Resource) Release() {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of pending acquire requests.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // Utilization returns the time-averaged fraction of capacity in use
 // since the resource was created.

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The sinks must not allocate per event once their tracks are announced
+// and scratch buffers are warm: a traced run records millions of events,
+// and sink garbage would show up as simulation slowdown.
+
+func steadyEvents() []Event {
+	return []Event{
+		{T: 10, Kind: KindArrival, Proc: -1, Stream: 1, Entity: 1, Seq: 7},
+		{T: 11, Kind: KindDispatch, Proc: 0, Stream: 1, Entity: 1, Seq: 7, Dur: 1},
+		{T: 11, Kind: KindExecStart, Proc: 0, Stream: 1, Entity: 1, Seq: 7, Dur: 50, Val: 1234.5, Flags: FlagMigrated},
+		{T: 61, Kind: KindExecEnd, Proc: 0, Stream: 1, Entity: 1, Seq: 7, Dur: 50},
+		{T: 61, Kind: KindMigration, Proc: 0, Stream: 1, Entity: 1, Seq: 7},
+		{T: 70, Kind: KindGaugeQueue, Proc: -1, Stream: -1, Entity: -1, Val: 3},
+	}
+}
+
+func testSinkZeroAllocs(t *testing.T, name string, sink Recorder) {
+	t.Helper()
+	evs := steadyEvents()
+	// Warm up: announce tracks, grow scratch and bufio buffers.
+	for i := 0; i < 100; i++ {
+		for _, e := range evs {
+			sink.Record(e)
+		}
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for _, e := range evs {
+			sink.Record(e)
+		}
+	})
+	if got != 0 {
+		t.Errorf("%s: %v allocs per %d events in steady state, want 0", name, got, len(evs))
+	}
+}
+
+func TestSinksSteadyStateZeroAllocs(t *testing.T) {
+	t.Run("csv", func(t *testing.T) {
+		testSinkZeroAllocs(t, "CSV", NewCSV(io.Discard))
+	})
+	t.Run("chrometrace", func(t *testing.T) {
+		testSinkZeroAllocs(t, "ChromeTrace", NewChromeTrace(io.Discard))
+	})
+	t.Run("metrics", func(t *testing.T) {
+		testSinkZeroAllocs(t, "Metrics", NewMetrics())
+	})
+}
+
+func TestFlagsStringTable(t *testing.T) {
+	// Every combination must render its member flags in the canonical
+	// cold|migrated|locked order.
+	for f := Flags(0); f < 8; f++ {
+		s := f.String()
+		want := ""
+		add := func(name string) {
+			if want != "" {
+				want += "|"
+			}
+			want += name
+		}
+		if f&FlagCold != 0 {
+			add("cold")
+		}
+		if f&FlagMigrated != 0 {
+			add("migrated")
+		}
+		if f&FlagLocked != 0 {
+			add("locked")
+		}
+		if s != want {
+			t.Errorf("Flags(%d).String() = %q, want %q", f, s, want)
+		}
+	}
+}

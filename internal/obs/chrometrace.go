@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 )
 
 // ChromeTrace streams events to w in the Chrome trace-event JSON array
@@ -24,13 +25,19 @@ import (
 // bufio.Writer), so arbitrarily long runs trace in constant memory.
 // Close writes the closing bracket and flushes; the result is invalid
 // JSON until then.
+//
+// Per-event records are serialized by hand into a reused scratch buffer
+// — the map[string]any + json.Marshal route allocated a dozen objects
+// per event, which dominated traced-run profiles. Only the one-time
+// naming metadata still goes through encoding/json.
 type ChromeTrace struct {
 	w       *bufio.Writer
+	buf     []byte // per-record scratch, reused
 	err     error
 	started bool
 	closed  bool
-	procs   map[int]bool // tids announced on pid 1
-	streams map[int]bool // tids announced on pid 2
+	procs   map[int]bool   // tids announced on pid 1
+	streams map[int]string // tids announced on pid 2 → cached "stream N" name
 }
 
 const (
@@ -42,30 +49,44 @@ const (
 func NewChromeTrace(w io.Writer) *ChromeTrace {
 	return &ChromeTrace{
 		w:       bufio.NewWriter(w),
+		buf:     make([]byte, 0, 256),
 		procs:   map[int]bool{},
-		streams: map[int]bool{},
+		streams: map[int]string{},
 	}
 }
 
-// raw writes one trace-event object, handling array punctuation.
+// begin starts one record in the scratch buffer, handling array
+// punctuation, and returns the buffer to append to. Callers finish with
+// emit.
+func (c *ChromeTrace) begin() []byte {
+	b := c.buf[:0]
+	if !c.started {
+		b = append(b, "[\n"...)
+		c.started = true
+	} else {
+		b = append(b, ",\n"...)
+	}
+	return b
+}
+
+// emit writes the completed record.
+func (c *ChromeTrace) emit(b []byte) {
+	c.buf = b
+	_, c.err = c.w.Write(b)
+}
+
+// raw writes one trace-event object built by encoding/json — used only
+// for the rare metadata records.
 func (c *ChromeTrace) raw(v map[string]any) {
 	if c.err != nil || c.closed {
 		return
 	}
-	b, err := json.Marshal(v)
+	data, err := json.Marshal(v)
 	if err != nil {
 		c.err = err
 		return
 	}
-	if !c.started {
-		_, c.err = c.w.WriteString("[\n")
-		c.started = true
-	} else {
-		_, c.err = c.w.WriteString(",\n")
-	}
-	if c.err == nil {
-		_, c.err = c.w.Write(b)
-	}
+	c.emit(append(c.begin(), data...))
 }
 
 // meta emits a metadata record (process/thread naming).
@@ -85,16 +106,23 @@ func (c *ChromeTrace) announceProc(p int) {
 	c.meta("thread_sort_index", pidProcs, p, map[string]any{"sort_index": p})
 }
 
-func (c *ChromeTrace) announceStream(s int) {
-	if s < 0 || c.streams[s] {
-		return
+// announceStream announces the stream's track on first sight and
+// returns its cached "stream N" display name.
+func (c *ChromeTrace) announceStream(s int) string {
+	if s < 0 {
+		return ""
+	}
+	if name, ok := c.streams[s]; ok {
+		return name
 	}
 	if len(c.streams) == 0 {
 		c.meta("process_name", pidStreams, 0, map[string]any{"name": "streams"})
 	}
-	c.streams[s] = true
-	c.meta("thread_name", pidStreams, s, map[string]any{"name": fmt.Sprintf("stream %d", s)})
+	name := fmt.Sprintf("stream %d", s)
+	c.streams[s] = name
+	c.meta("thread_name", pidStreams, s, map[string]any{"name": name})
 	c.meta("thread_sort_index", pidStreams, s, map[string]any{"sort_index": s})
+	return name
 }
 
 // finiteXRefs maps +Inf (cold start) to -1 so the JSON stays valid; the
@@ -106,22 +134,67 @@ func finiteXRefs(x float64) float64 {
 	return x
 }
 
-// counter emits a counter sample on the processors process.
-func (c *ChromeTrace) counter(name string, t, v float64) {
-	c.raw(map[string]any{
-		"ph": "C", "name": name, "pid": pidProcs, "tid": 0, "ts": t,
-		"args": map[string]any{"value": v},
-	})
+func appendFloat(b []byte, x float64) []byte {
+	return strconv.AppendFloat(b, x, 'g', -1, 64)
 }
 
-// instant emits an instant marker on a processor track.
-func (c *ChromeTrace) instant(name string, t float64, proc int, args map[string]any) {
-	c.announceProc(proc)
-	ev := map[string]any{"ph": "i", "name": name, "s": "t", "pid": pidProcs, "tid": proc, "ts": t}
-	if args != nil {
-		ev["args"] = args
+func appendString(b []byte, s string) []byte {
+	b = append(b, '"')
+	b = append(b, s...) // kind/flag/track names: no characters needing escapes
+	return append(b, '"')
+}
+
+// appendSpan appends an async packet-span record ("b"/"e") for pid 2.
+func (c *ChromeTrace) appendSpan(b []byte, ph byte, seq uint64, stream int, t float64) []byte {
+	b = append(b, `{"ph":"`...)
+	b = append(b, ph)
+	b = append(b, `","cat":"packet","id":"`...)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, `","name":"packet","pid":`...)
+	b = strconv.AppendInt(b, pidStreams, 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(stream), 10)
+	b = append(b, `,"ts":`...)
+	b = appendFloat(b, t)
+	return append(b, '}')
+}
+
+// counter emits a counter sample on the processors process.
+func (c *ChromeTrace) counter(name string, t, v float64) {
+	if c.err != nil || c.closed {
+		return
 	}
-	c.raw(ev)
+	b := c.begin()
+	b = append(b, `{"ph":"C","name":`...)
+	b = appendString(b, name)
+	b = append(b, `,"pid":1,"tid":0,"ts":`...)
+	b = appendFloat(b, t)
+	b = append(b, `,"args":{"value":`...)
+	b = appendFloat(b, v)
+	b = append(b, `}}`...)
+	c.emit(b)
+}
+
+// instant emits an instant marker on a processor track with one integer
+// argument.
+func (c *ChromeTrace) instant(name string, t float64, proc int, argName string, argVal int) {
+	c.announceProc(proc)
+	if c.err != nil || c.closed {
+		return
+	}
+	b := c.begin()
+	b = append(b, `{"ph":"i","name":`...)
+	b = appendString(b, name)
+	b = append(b, `,"s":"t","pid":1,"tid":`...)
+	b = strconv.AppendInt(b, int64(proc), 10)
+	b = append(b, `,"ts":`...)
+	b = appendFloat(b, t)
+	b = append(b, `,"args":{`...)
+	b = appendString(b, argName)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(argVal), 10)
+	b = append(b, `}}`...)
+	c.emit(b)
 }
 
 // Record implements Recorder.
@@ -129,34 +202,58 @@ func (c *ChromeTrace) Record(e Event) {
 	switch e.Kind {
 	case KindArrival:
 		c.announceStream(e.Stream)
-		c.raw(map[string]any{
-			"ph": "b", "cat": "packet", "id": fmt.Sprintf("%d", e.Seq), "name": "packet",
-			"pid": pidStreams, "tid": e.Stream, "ts": e.T,
-		})
+		if c.err != nil || c.closed {
+			return
+		}
+		c.emit(c.appendSpan(c.begin(), 'b', e.Seq, e.Stream, e.T))
 	case KindExecStart:
 		c.announceProc(e.Proc)
-		c.raw(map[string]any{
-			"ph": "B", "cat": "exec", "name": fmt.Sprintf("stream %d", e.Stream),
-			"pid": pidProcs, "tid": e.Proc, "ts": e.T,
-			"args": map[string]any{
-				"seq": e.Seq, "entity": e.Entity, "exec_us": e.Dur,
-				"xrefs": finiteXRefs(e.Val), "flags": e.Flags.String(),
-			},
-		})
+		name := c.announceStream(e.Stream)
+		if c.err != nil || c.closed {
+			return
+		}
+		b := c.begin()
+		b = append(b, `{"ph":"B","cat":"exec","name":`...)
+		b = appendString(b, name)
+		b = append(b, `,"pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.Proc), 10)
+		b = append(b, `,"ts":`...)
+		b = appendFloat(b, e.T)
+		b = append(b, `,"args":{"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+		b = append(b, `,"entity":`...)
+		b = strconv.AppendInt(b, int64(e.Entity), 10)
+		b = append(b, `,"exec_us":`...)
+		b = appendFloat(b, e.Dur)
+		b = append(b, `,"xrefs":`...)
+		b = appendFloat(b, finiteXRefs(e.Val))
+		b = append(b, `,"flags":`...)
+		b = appendString(b, e.Flags.String())
+		b = append(b, `}}`...)
+		c.emit(b)
 	case KindExecEnd:
 		c.announceProc(e.Proc)
-		c.raw(map[string]any{"ph": "E", "pid": pidProcs, "tid": e.Proc, "ts": e.T})
+		if c.err != nil || c.closed {
+			return
+		}
+		b := c.begin()
+		b = append(b, `{"ph":"E","pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.Proc), 10)
+		b = append(b, `,"ts":`...)
+		b = appendFloat(b, e.T)
+		b = append(b, '}')
+		c.emit(b)
 		if e.Stream >= 0 {
 			c.announceStream(e.Stream)
-			c.raw(map[string]any{
-				"ph": "e", "cat": "packet", "id": fmt.Sprintf("%d", e.Seq), "name": "packet",
-				"pid": pidStreams, "tid": e.Stream, "ts": e.T,
-			})
+			if c.err != nil || c.closed {
+				return
+			}
+			c.emit(c.appendSpan(c.begin(), 'e', e.Seq, e.Stream, e.T))
 		}
 	case KindMigration:
-		c.instant("migration", e.T, e.Proc, map[string]any{"entity": e.Entity})
+		c.instant("migration", e.T, e.Proc, "entity", e.Entity)
 	case KindColdStart:
-		c.instant("cold start", e.T, e.Proc, map[string]any{"entity": e.Entity})
+		c.instant("cold start", e.T, e.Proc, "entity", e.Entity)
 	case KindSpill:
 		// A spill may happen before a processor is chosen (Proc -1);
 		// pin those markers to track 0 rather than dropping them.
@@ -164,7 +261,7 @@ func (c *ChromeTrace) Record(e Event) {
 		if proc < 0 {
 			proc = 0
 		}
-		c.instant("spill", e.T, proc, map[string]any{"stream": e.Stream})
+		c.instant("spill", e.T, proc, "stream", e.Stream)
 	case KindGaugeQueue:
 		c.counter("queued packets", e.T, e.Val)
 	case KindGaugeOverflow:

@@ -102,25 +102,19 @@ const (
 	FlagLocked
 )
 
+// flagNames holds every flag combination, indexed by the Flags value,
+// so String is a table lookup — the sinks call it per event and must
+// not allocate.
+var flagNames = [8]string{
+	"", "cold", "migrated", "cold|migrated",
+	"locked", "cold|locked", "migrated|locked", "cold|migrated|locked",
+}
+
 func (f Flags) String() string {
-	s := ""
-	sep := func() {
-		if s != "" {
-			s += "|"
-		}
+	if int(f) < len(flagNames) {
+		return flagNames[f]
 	}
-	if f&FlagCold != 0 {
-		s = "cold"
-	}
-	if f&FlagMigrated != 0 {
-		sep()
-		s += "migrated"
-	}
-	if f&FlagLocked != 0 {
-		sep()
-		s += "locked"
-	}
-	return s
+	return flagNames[f&7]
 }
 
 // Event is one observation. Fields that do not apply to the Kind are

@@ -324,26 +324,48 @@ func (p *pools) Queued() int {
 	return n
 }
 
-// fifo is a slice-backed FIFO of packets.
+// fifo is a slice-backed FIFO of packets that recycles its backing
+// array: the head index advances on pop (slots cleared so packets don't
+// linger past their dequeue) and the array resets when the queue drains
+// or the dead prefix dominates, so steady-state push/pop traffic stops
+// allocating.
 type fifo struct {
 	items []Packet
+	head  int
 }
 
 func (f *fifo) push(p Packet) { f.items = append(f.items, p) }
 
+// advance drops the head slot, resetting or compacting the backing
+// array when the dead prefix is worth reclaiming.
+func (f *fifo) advance() {
+	f.items[f.head] = Packet{}
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	} else if f.head > 64 && f.head*2 >= len(f.items) {
+		n := copy(f.items, f.items[f.head:])
+		f.items = f.items[:n]
+		f.head = 0
+	}
+}
+
 func (f *fifo) pop() (Packet, bool) {
-	if len(f.items) == 0 {
+	if f.head == len(f.items) {
 		return Packet{}, false
 	}
-	p := f.items[0]
-	f.items = f.items[1:]
+	p := f.items[f.head]
+	f.advance()
 	return p, true
 }
 
-func (f *fifo) len() int { return len(f.items) }
+func (f *fifo) len() int { return len(f.items) - f.head }
 
+// indexWhereN returns the position (0 = head) of the first packet among
+// the first n that satisfies pred, or -1.
 func (f *fifo) indexWhereN(n int, pred func(Packet) bool) int {
-	for i, p := range f.items {
+	for i, p := range f.items[f.head:] {
 		if i >= n {
 			break
 		}
@@ -354,13 +376,15 @@ func (f *fifo) indexWhereN(n int, pred func(Packet) bool) int {
 	return -1
 }
 
-// removeAt removes and returns the i-th packet. The index always lies
-// within the dispatch lookahead window, so shifting the short prefix
-// right keeps this O(lookahead) even when the queue is very long
-// (an overloaded run can hold hundreds of thousands of packets).
+// removeAt removes and returns the packet at position i (0 = head). The
+// index always lies within the dispatch lookahead window, so shifting
+// the short prefix right keeps this O(lookahead) even when the queue is
+// very long (an overloaded run can hold hundreds of thousands of
+// packets).
 func (f *fifo) removeAt(i int) Packet {
-	p := f.items[i]
-	copy(f.items[1:i+1], f.items[:i])
-	f.items = f.items[1:]
+	j := f.head + i
+	p := f.items[j]
+	copy(f.items[f.head+1:j+1], f.items[f.head:j])
+	f.advance()
 	return p
 }

@@ -1,15 +1,24 @@
 package sim
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"affinity/internal/core"
 	"affinity/internal/des"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/stats"
+	"affinity/internal/traffic"
 )
+
+// The runner's packet lifecycle is allocation-free in steady state: DES
+// event nodes are pooled inside des.Simulator, per-packet service state
+// lives in pooled svc records scheduled through non-capturing
+// des.ArgHandler functions (no per-packet closures), displacement marks
+// are flat slices indexed by entity, and every queue recycles its
+// backing array. TestRunnerSteadyStateZeroAllocs pins the
+// disabled-recorder path at zero allocations per event.
 
 // procState tracks one processor's displacement counters and occupancy.
 //
@@ -25,23 +34,52 @@ type procState struct {
 	busySince des.Time
 	dispNP    float64
 	dispProto float64
-	markNP    map[int]float64
-	markProto map[int]float64
+	seen      []bool    // entity has completed on this processor
+	markNP    []float64 // entity → dispNP at last completion here
+	markProto []float64 // entity → dispProto at last completion here
 	util      stats.TimeWeighted
 }
 
 // stackState tracks one IPS stack.
 type stackState struct {
-	q       []sched.Packet
+	q       pktQueue
 	running bool
 	queued  bool
+}
+
+// pktQueue is a slice-backed packet FIFO that recycles its backing
+// array: the head index advances on pop and the array resets when the
+// queue drains (or the dead prefix dominates), so steady-state
+// enqueue/dequeue traffic stops allocating.
+type pktQueue struct {
+	buf  []sched.Packet
+	head int
+}
+
+func (q *pktQueue) len() int             { return len(q.buf) - q.head }
+func (q *pktQueue) front() sched.Packet  { return q.buf[q.head] }
+func (q *pktQueue) push(p sched.Packet)  { q.buf = append(q.buf, p) }
+func (q *pktQueue) pop() sched.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = sched.Packet{}
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return p
 }
 
 type runner struct {
 	p     Params
 	sim   *des.Simulator
 	model *core.Model
-	rate  float64 // displacing references per µs of full-speed execution
+	exec  *core.Exec // compiled model: bit-identical, transcendentals hoisted
+	rate  float64    // displacing references per µs of full-speed execution
 
 	disp  sched.PacketDispatcher // Locking
 	sdisp sched.StackDispatcher  // IPS
@@ -49,9 +87,13 @@ type runner struct {
 
 	procs      []procState
 	stacks     []stackState
-	overflow   []sched.Packet // Hybrid: packets spilled to the shared path
-	rng        *des.RNG       // Hybrid overflow placement
-	lastProcOf map[int]int    // entity → processor of previous completion
+	overflow   pktQueue // Hybrid: packets spilled to the shared path
+	rng        *des.RNG // Hybrid overflow placement
+	lastProcOf []int    // entity → processor of previous completion, -1 unknown
+
+	sources     []arrivalSource // one per stream, scheduled by pointer
+	idleScratch []int           // reused by idleProcs
+	svcFree     []*svc          // recycled per-packet service records
 
 	delays    *stats.BatchMeans
 	delayAcc  stats.Accumulator
@@ -115,22 +157,29 @@ func (t *traceSink) Record(e obs.Event) {
 }
 
 func newRunner(p Params) *runner {
+	entities := p.entityCount()
 	r := &runner{
 		p:          p,
 		sim:        des.NewSimulator(),
 		model:      p.Model,
+		exec:       p.Model.Compile(),
 		rate:       p.Model.Platform.RefsPerMicrosecond(),
 		procs:      make([]procState, p.Processors),
-		lastProcOf: make(map[int]int),
+		lastProcOf: make([]int, entities),
 		delays:     stats.NewBatchMeans(p.BatchSize),
 		delayHist:  stats.NewHistogram(0, 100_000, 10_000), // 10 µs bins to 100 ms
 		perStream:  make([]stats.Accumulator, p.Streams),
 	}
+	for i := range r.lastProcOf {
+		r.lastProcOf[i] = -1
+	}
 	for i := range r.procs {
-		r.procs[i].markNP = make(map[int]float64)
-		r.procs[i].markProto = make(map[int]float64)
+		r.procs[i].seen = make([]bool, entities)
+		r.procs[i].markNP = make([]float64, entities)
+		r.procs[i].markProto = make([]float64, entities)
 		r.procs[i].util.Set(0, 0)
 	}
+	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
 	if p.Paradigm == Locking {
 		r.disp = sched.NewPacketDispatcherLookahead(p.Policy, p.Processors, schedRNG, p.MRULookahead)
@@ -161,66 +210,104 @@ func (r *runner) emit(e obs.Event) {
 	r.rec.Record(e)
 }
 
+// arrivalsNames caches the per-stream RNG stream names so a run's
+// startup (and tests constructing many runners) does not go through
+// fmt.Sprintf; entries must stay identical to the historical
+// "arrivals-%d" so every seed keeps its published draws.
+var arrivalsNames = func() (t [64]string) {
+	for i := range t {
+		t[i] = "arrivals-" + strconv.Itoa(i)
+	}
+	return
+}()
+
+func arrivalsName(s int) string {
+	if s >= 0 && s < len(arrivalsNames) {
+		return arrivalsNames[s]
+	}
+	return "arrivals-" + strconv.Itoa(s)
+}
+
+// arrivalSource drives one stream's arrival process; it is scheduled by
+// pointer through arrivalFire so per-arrival rescheduling allocates
+// nothing.
+type arrivalSource struct {
+	r       *runner
+	stream  int
+	proc    traffic.Process
+	pending int
+}
+
+// arrivalFire delivers the batch drawn on the previous tick, then draws
+// and schedules the next one.
+func arrivalFire(a any) {
+	src := a.(*arrivalSource)
+	r := src.r
+	for j := 0; j < src.pending; j++ {
+		r.arrive(src.stream)
+	}
+	d, b := src.proc.Next()
+	src.pending = b
+	r.sim.ScheduleArg(d, arrivalFire, src)
+}
+
+// gaugeSample publishes the periodic gauges and reschedules itself; it
+// runs only when a user recorder is attached (a TraceN-only run should
+// not burn simulator events on samples nobody sees) and reads state
+// without mutating it, so it cannot perturb the run.
+func gaugeSample(a any) {
+	r := a.(*runner)
+	t := float64(r.sim.Now())
+	r.emit(obs.Event{T: t, Kind: obs.KindGaugeQueue, Proc: -1, Stream: -1, Entity: -1,
+		Val: float64(r.queuedPackets())})
+	r.emit(obs.Event{T: t, Kind: obs.KindGaugeHeap, Proc: -1, Stream: -1, Entity: -1,
+		Val: float64(r.sim.Pending())})
+	var dNP, dProto float64
+	for i := range r.procs {
+		dNP += r.procs[i].dispNP
+		dProto += r.procs[i].dispProto
+	}
+	r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispNP, Proc: -1, Stream: -1, Entity: -1, Val: dNP})
+	r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispProto, Proc: -1, Stream: -1, Entity: -1, Val: dProto})
+	if r.p.Paradigm == Hybrid {
+		r.emit(obs.Event{T: t, Kind: obs.KindGaugeOverflow, Proc: -1, Stream: -1, Entity: -1,
+			Val: float64(r.overflow.len())})
+	}
+	r.sim.ScheduleArg(r.p.SamplePeriod, gaugeSample, r)
+}
+
 // start schedules every stream's arrival process and, when a recorder
 // is attached, the periodic gauge sampler.
 func (r *runner) start() {
 	if r.p.Recorder != nil {
-		// Gauges go only to user recorders: a TraceN-only run should
-		// not burn simulator events on samples nobody sees. The sampler
-		// reads state without mutating it, so it cannot perturb the run.
-		var sample func()
-		sample = func() {
-			t := float64(r.sim.Now())
-			r.emit(obs.Event{T: t, Kind: obs.KindGaugeQueue, Proc: -1, Stream: -1, Entity: -1,
-				Val: float64(r.queuedPackets())})
-			r.emit(obs.Event{T: t, Kind: obs.KindGaugeHeap, Proc: -1, Stream: -1, Entity: -1,
-				Val: float64(r.sim.Pending())})
-			var dNP, dProto float64
-			for i := range r.procs {
-				dNP += r.procs[i].dispNP
-				dProto += r.procs[i].dispProto
-			}
-			r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispNP, Proc: -1, Stream: -1, Entity: -1, Val: dNP})
-			r.emit(obs.Event{T: t, Kind: obs.KindGaugeDispProto, Proc: -1, Stream: -1, Entity: -1, Val: dProto})
-			if r.p.Paradigm == Hybrid {
-				r.emit(obs.Event{T: t, Kind: obs.KindGaugeOverflow, Proc: -1, Stream: -1, Entity: -1,
-					Val: float64(len(r.overflow))})
-			}
-			r.sim.Schedule(r.p.SamplePeriod, sample)
-		}
-		r.sim.Schedule(r.p.SamplePeriod, sample)
+		r.sim.ScheduleArg(r.p.SamplePeriod, gaugeSample, r)
 	}
+	r.sources = make([]arrivalSource, r.p.Streams)
 	for s := 0; s < r.p.Streams; s++ {
-		s := s
 		spec := r.p.Arrival
 		if r.p.ArrivalPerStream != nil {
 			spec = r.p.ArrivalPerStream[s]
 		}
-		proc := spec.Build(des.Stream(r.p.Seed, fmt.Sprintf("arrivals-%d", s)))
-		var pending int
-		var fire func()
-		fire = func() {
-			for j := 0; j < pending; j++ {
-				r.arrive(s)
-			}
-			d, b := proc.Next()
-			pending = b
-			r.sim.Schedule(d, fire)
-		}
-		d, b := proc.Next()
-		pending = b
-		r.sim.Schedule(d, fire)
+		src := &r.sources[s]
+		src.r, src.stream = r, s
+		src.proc = spec.Build(des.Stream(r.p.Seed, arrivalsName(s)))
+		d, b := src.proc.Next()
+		src.pending = b
+		r.sim.ScheduleArg(d, arrivalFire, src)
 	}
 }
 
-// idleProcs returns the processors currently free of protocol work.
+// idleProcs returns the processors currently free of protocol work. The
+// returned slice is the runner's scratch buffer, valid until the next
+// call.
 func (r *runner) idleProcs() []int {
-	idle := make([]int, 0, len(r.procs))
+	idle := r.idleScratch[:0]
 	for i := range r.procs {
 		if !r.procs[i].busy {
 			idle = append(idle, i)
 		}
 	}
+	r.idleScratch = idle
 	return idle
 }
 
@@ -234,7 +321,7 @@ func (r *runner) arrive(stream int) {
 	if r.p.Paradigm == Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
-				r.beginService(pkt, proc, true, true, r.completeLocking)
+				r.beginService(pkt, proc, true, true, compLocking)
 				return
 			}
 		}
@@ -246,7 +333,7 @@ func (r *runner) arrive(stream int) {
 	// stack is placed on a processor or queued.
 	k := pkt.Entity
 	st := &r.stacks[k]
-	if r.p.Paradigm == Hybrid && (st.running || st.queued) && len(st.q) >= r.p.HybridOverflow {
+	if r.p.Paradigm == Hybrid && (st.running || st.queued) && st.q.len() >= r.p.HybridOverflow {
 		// The stack is backed up: spill to the shared locking path,
 		// which any idle processor may serve concurrently.
 		r.spills++
@@ -256,7 +343,7 @@ func (r *runner) arrive(stream int) {
 				r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
 					Proc: proc, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
 			}
-			r.beginService(pkt, proc, true, true, r.completeOverflow)
+			r.beginService(pkt, proc, true, true, compOverflow)
 			return
 		}
 		if r.rec != nil {
@@ -264,10 +351,10 @@ func (r *runner) arrive(stream int) {
 				Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
 		}
 		r.enqueued(pkt)
-		r.overflow = append(r.overflow, pkt)
+		r.overflow.push(pkt)
 		return
 	}
-	st.q = append(st.q, pkt)
+	st.q.push(pkt)
 	if st.running || st.queued {
 		r.enqueued(pkt)
 		return
@@ -296,26 +383,108 @@ func (r *runner) enqueued(pkt sched.Packet) {
 // since it last completed there, or +Inf if it never ran there.
 func (r *runner) xRefs(e, proc int) float64 {
 	ps := &r.procs[proc]
-	mNP, ok := ps.markNP[e]
-	if !ok {
+	if !ps.seen[e] {
 		return math.Inf(1)
 	}
-	dNP := ps.dispNP - mNP
+	dNP := ps.dispNP - ps.markNP[e]
 	dProto := ps.dispProto - ps.markProto[e]
 	return dNP + (1-r.p.CodeSharedFrac)*dProto
 }
 
-// complete is a service-completion continuation: it receives the packet,
-// the processor, and the protocol execution time that displaces other
-// footprints.
-type complete func(pkt sched.Packet, proc int, protoExec float64)
+// completionKind selects the continuation run when a packet's service
+// completes — an enum dispatched in svc.finish, rather than a captured
+// function value, so beginService stays allocation-free.
+type completionKind uint8
+
+const (
+	compLocking completionKind = iota
+	compOverflow
+	compIPS
+)
+
+// svc is the pooled per-packet service record: everything the
+// completion continuation needs, bound once at beginService and
+// threaded through the DES by pointer.
+type svc struct {
+	r         *runner
+	pkt       sched.Packet
+	proc      int
+	exec      float64 // charged execution time (model + data touch)
+	warmHit   bool
+	done      completionKind
+	requested des.Time // lock-wait start (locked path)
+}
+
+func (r *runner) acquireSvc() *svc {
+	if n := len(r.svcFree); n > 0 {
+		s := r.svcFree[n-1]
+		r.svcFree[n-1] = nil
+		r.svcFree = r.svcFree[:n-1]
+		return s
+	}
+	return &svc{r: r}
+}
+
+func (r *runner) releaseSvc(s *svc) {
+	s.pkt = sched.Packet{}
+	r.svcFree = append(r.svcFree, s)
+}
+
+// svcFinishDirect completes an unlocked service interval.
+func svcFinishDirect(a any) {
+	s := a.(*svc)
+	s.finish(s.exec)
+}
+
+// svcLockRequest ends the non-critical section and queues for the
+// shared-stack lock.
+func svcLockRequest(a any) {
+	s := a.(*svc)
+	s.requested = s.r.sim.Now()
+	s.r.lock.AcquireArg(svcLockGranted, s)
+}
+
+// svcLockGranted runs when the lock is granted: record the spin wait and
+// schedule the critical section.
+func svcLockGranted(a any) {
+	s := a.(*svc)
+	r := s.r
+	r.lockWait.Add(float64(r.sim.Now() - s.requested))
+	r.sim.ScheduleArg(des.Time(r.p.LockCritFrac*s.exec), svcLockDone, s)
+}
+
+// svcLockDone releases the lock and completes the locked service.
+func svcLockDone(a any) {
+	s := a.(*svc)
+	s.r.lock.Release()
+	s.finish(s.exec + s.r.p.LockOverhead)
+}
+
+// finish settles the warm-hit counter, recycles the record and runs the
+// paradigm's completion continuation.
+func (s *svc) finish(protoExec float64) {
+	r := s.r
+	if s.warmHit {
+		r.warm++
+	}
+	pkt, proc, done := s.pkt, s.proc, s.done
+	r.releaseSvc(s)
+	switch done {
+	case compLocking:
+		r.completeLocking(pkt, proc, protoExec)
+	case compOverflow:
+		r.completeOverflow(pkt, proc, protoExec)
+	default:
+		r.completeIPS(pkt, proc, protoExec)
+	}
+}
 
 // beginService runs pkt on proc. fromIdle marks a processor that was
 // running the background workload (its idle displacement is settled and
 // the preemption cost applies). locked selects the shared-stack path,
 // which pays the lock overhead and serializes its critical section; done
-// is invoked at completion.
-func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool, done complete) {
+// selects the completion continuation.
+func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool, done completionKind) {
 	now := r.sim.Now()
 	ps := &r.procs[proc]
 	if ps.busy && fromIdle {
@@ -338,17 +507,18 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 	}
 
 	x := r.xRefs(pkt.Entity, proc)
-	exec := r.model.ExecTime(x) + r.p.DataTouch
+	texec, f1 := r.exec.ExecTimeF1(x)
+	exec := texec + r.p.DataTouch
 	cold := math.IsInf(x, 1)
 	if cold {
 		r.coldStarts++
 	}
-	// Warm hits are counted at completion (finish below), alongside the
+	// Warm hits are counted at completion (svc.finish), alongside the
 	// service accumulator that forms WarmFraction's denominator, so
 	// packets still in flight when the run stops never enter the ratio.
-	warmHit := !cold && r.model.F1(x) < 0.5
+	warmHit := !cold && f1 < 0.5
 	migrated := false
-	if last, ok := r.lastProcOf[pkt.Entity]; ok && last != proc {
+	if last := r.lastProcOf[pkt.Entity]; last >= 0 && last != proc {
 		r.migrations++
 		migrated = true
 	}
@@ -381,30 +551,14 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 		}
 	}
 
-	finish := func(protoExec float64) {
-		if warmHit {
-			r.warm++
-		}
-		done(pkt, proc, protoExec)
-	}
+	sv := r.acquireSvc()
+	sv.pkt, sv.proc, sv.exec, sv.warmHit, sv.done = pkt, proc, exec, warmHit, done
 	if locked {
 		nonCrit := preempt + r.p.LockOverhead + (1-r.p.LockCritFrac)*exec
-		crit := r.p.LockCritFrac * exec
-		r.sim.Schedule(des.Time(nonCrit), func() {
-			requested := r.sim.Now()
-			r.lock.Acquire(func() {
-				r.lockWait.Add(float64(r.sim.Now() - requested))
-				r.sim.Schedule(des.Time(crit), func() {
-					r.lock.Release()
-					finish(exec + r.p.LockOverhead)
-				})
-			})
-		})
+		r.sim.ScheduleArg(des.Time(nonCrit), svcLockRequest, sv)
 		return
 	}
-	r.sim.Schedule(des.Time(preempt+exec), func() {
-		finish(exec)
-	})
+	r.sim.ScheduleArg(des.Time(preempt+exec), svcFinishDirect, sv)
 }
 
 // settleCompletion updates displacement marks, affinity state and delay
@@ -414,6 +568,7 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 	now := r.sim.Now()
 	ps := &r.procs[proc]
 	ps.dispProto += r.rate * protoExec
+	ps.seen[pkt.Entity] = true
 	ps.markNP[pkt.Entity] = ps.dispNP
 	ps.markProto[pkt.Entity] = ps.dispProto
 	r.lastProcOf[pkt.Entity] = proc
@@ -460,7 +615,7 @@ func (r *runner) goIdle(proc int) {
 func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) {
 	r.settleCompletion(pkt, proc, protoExec)
 	if next, ok := r.disp.Dispatch(proc); ok {
-		r.beginService(next, proc, false, true, r.completeLocking)
+		r.beginService(next, proc, false, true, compLocking)
 		return
 	}
 	r.goIdle(proc)
@@ -482,10 +637,9 @@ func (r *runner) dispatchHybrid(proc int) {
 		r.startStack(next, proc, false)
 		return
 	}
-	if len(r.overflow) > 0 {
-		pkt := r.overflow[0]
-		r.overflow = r.overflow[1:]
-		r.beginService(pkt, proc, false, true, r.completeOverflow)
+	if r.overflow.len() > 0 {
+		pkt := r.overflow.pop()
+		r.beginService(pkt, proc, false, true, compOverflow)
 		return
 	}
 	r.goIdle(proc)
@@ -495,8 +649,8 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 	r.settleCompletion(pkt, proc, protoExec)
 	k := pkt.Entity
 	st := &r.stacks[k]
-	st.q = st.q[1:]
-	if len(st.q) > 0 {
+	st.q.pop()
+	if st.q.len() > 0 {
 		// The stack still has work, but packet-level fairness applies:
 		// if another ready stack is waiting for this processor, yield
 		// to it and rejoin the ready queue; otherwise keep running.
@@ -508,7 +662,7 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 			r.startStack(next, proc, false)
 			return
 		}
-		r.beginService(st.q[0], proc, false, false, r.completeIPS)
+		r.beginService(st.q.front(), proc, false, false, compIPS)
 		return
 	}
 	st.running = false
@@ -526,25 +680,37 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 
 func (r *runner) startStack(k, proc int, fromIdle bool) {
 	st := &r.stacks[k]
-	if len(st.q) == 0 {
+	if st.q.len() == 0 {
 		panic("sim: started an empty stack")
 	}
 	st.running = true
 	st.queued = false
-	r.beginService(st.q[0], proc, fromIdle, false, r.completeIPS)
+	r.beginService(st.q.front(), proc, fromIdle, false, compIPS)
 }
 
 func (r *runner) queuedPackets() int {
 	if r.p.Paradigm == Locking {
 		return r.disp.Queued()
 	}
-	n := len(r.overflow)
+	n := r.overflow.len()
 	for i := range r.stacks {
-		q := len(r.stacks[i].q)
+		q := r.stacks[i].q.len()
 		if r.stacks[i].running && q > 0 {
 			q-- // the head is in service, not waiting
 		}
 		n += q
+	}
+	return n
+}
+
+// inFlight returns the number of packets in service right now: every
+// busy processor serves exactly one packet.
+func (r *runner) inFlight() int {
+	n := 0
+	for i := range r.procs {
+		if r.procs[i].busy {
+			n++
+		}
 	}
 	return n
 }
@@ -560,22 +726,24 @@ func (r *runner) results() Results {
 		}
 	}
 	res := Results{
-		Paradigm:     r.p.Paradigm.String(),
-		Policy:       r.p.Policy.String(),
-		OfferedRate:  offered,
-		Completed:    uint64(r.measured),
-		Arrivals:     r.arrivals,
-		MeanDelay:    r.delayAcc.Mean(),
-		DelayCI:      r.delays.HalfWidth(),
-		MaxDelay:     r.delayAcc.Max(),
-		MeanService:  r.service.Mean(),
-		MeanQueueing: r.queueing.Mean(),
-		MeanLockWait: r.lockWait.Mean(),
-		ColdStarts:   r.coldStarts,
-		Migrations:   r.migrations,
-		Spills:       r.spills,
-		QueueAtEnd:   r.queuedPackets(),
-		SimTime:      now,
+		Paradigm:       r.p.Paradigm.String(),
+		Policy:         r.p.Policy.String(),
+		OfferedRate:    offered,
+		Completed:      uint64(r.measured),
+		CompletedTotal: r.service.N(),
+		Arrivals:       r.arrivals,
+		MeanDelay:      r.delayAcc.Mean(),
+		DelayCI:        r.delays.HalfWidth(),
+		MaxDelay:       r.delayAcc.Max(),
+		MeanService:    r.service.Mean(),
+		MeanQueueing:   r.queueing.Mean(),
+		MeanLockWait:   r.lockWait.Mean(),
+		ColdStarts:     r.coldStarts,
+		Migrations:     r.migrations,
+		Spills:         r.spills,
+		QueueAtEnd:     r.queuedPackets(),
+		InFlightAtEnd:  r.inFlight(),
+		SimTime:        now,
 
 		EventsFired:    r.sim.Fired(),
 		RecorderEvents: r.emitted,

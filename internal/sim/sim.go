@@ -271,8 +271,9 @@ type Results struct {
 	OfferedRate float64 // aggregate offered load
 	Throughput  float64 // measured completion rate
 
-	Completed uint64 // measured completions
-	Arrivals  uint64 // total arrivals over the run
+	Completed      uint64 // measured completions
+	CompletedTotal uint64 // all completions, warmup included
+	Arrivals       uint64 // total arrivals over the run
 
 	MeanDelay float64 // arrival → completion
 	DelayCI   float64 // 95% batch-means half-width
@@ -302,10 +303,11 @@ type Results struct {
 	AffinityHits uint64
 	Placements   uint64
 
-	Utilization float64 // mean processor busy fraction
-	QueueAtEnd  int     // packets still waiting when the run stopped
-	Saturated   bool    // run could not sustain the offered load
-	SimTime     des.Time
+	Utilization   float64 // mean processor busy fraction
+	QueueAtEnd    int     // packets still waiting when the run stopped
+	InFlightAtEnd int     // packets in service when the run stopped
+	Saturated     bool    // run could not sustain the offered load
+	SimTime       des.Time
 
 	// PerProcBusyTime is each processor's protocol-busy time (µs) over
 	// the whole run — the exact integral behind Utilization.

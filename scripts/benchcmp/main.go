@@ -1,0 +1,130 @@
+// Command benchcmp compares two `go test -bench` outputs and fails when
+// the head run regresses: more than a threshold percent on median
+// time/op, or any increase in allocs/op (allocations are deterministic,
+// so any increase is a real regression, not noise).
+//
+// It is a minimal, dependency-free stand-in for benchstat, vendored so
+// the benchmark gate runs anywhere the Go toolchain does. Usage:
+//
+//	go run ./scripts/benchcmp -max-time-regress 10 base.txt head.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type sample struct {
+	nsOp   []float64
+	allocs []float64
+	bOp    []float64
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(path string) (map[string]*sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	out := map[string]*sample{}
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		s := out[m[1]]
+		if s == nil {
+			s = &sample{}
+			out[m[1]] = s
+			order = append(order, m[1])
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		s.nsOp = append(s.nsOp, ns)
+		if m[3] != "" {
+			b, _ := strconv.ParseFloat(m[3], 64)
+			s.bOp = append(s.bOp, b)
+		}
+		if m[4] != "" {
+			a, _ := strconv.ParseFloat(m[4], 64)
+			s.allocs = append(s.allocs, a)
+		}
+	}
+	return out, order, sc.Err()
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	maxTime := flag.Float64("max-time-regress", 10,
+		"maximum allowed median time/op regression, percent")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-max-time-regress pct] base.txt head.txt")
+		os.Exit(2)
+	}
+	base, _, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	head, order, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-42s %14s %14s %8s   %s\n", "benchmark", "base", "head", "delta", "allocs base→head")
+	for _, name := range order {
+		h := head[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-42s %14s %14.0f %8s   (new)\n", name, "-", median(h.nsOp), "-")
+			continue
+		}
+		bt, ht := median(b.nsOp), median(h.nsOp)
+		delta := 0.0
+		if bt > 0 {
+			delta = (ht - bt) / bt * 100
+		}
+		ba, ha := median(b.allocs), median(h.allocs)
+		mark := ""
+		if delta > *maxTime {
+			mark = "  TIME REGRESSION"
+			failed = true
+		}
+		if ha > ba {
+			mark += "  ALLOC REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-42s %12.0fns %12.0fns %+7.1f%%   %.0f→%.0f%s\n",
+			name, bt, ht, delta, ba, ha, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr,
+			"benchcmp: FAIL — time/op regressed beyond %.0f%% or allocs/op increased\n", *maxTime)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: OK")
+}
