@@ -43,6 +43,7 @@ import (
 	"affinity/internal/calib"
 	"affinity/internal/core"
 	"affinity/internal/exp"
+	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/sim"
@@ -152,6 +153,16 @@ type (
 	// ArrivalSpec is any per-stream arrival process description.
 	ArrivalSpec = traffic.Spec
 )
+
+// FaultPlan is a deterministic schedule of fault events — processor
+// failures and recoveries, slow-downs, arrival bursts, packet loss —
+// consumed by the simulator via Params.Faults. The zero value (and nil)
+// injects nothing and leaves runs byte-identical to fault-free ones.
+type FaultPlan = faults.Plan
+
+// ParseFaultPlan builds a FaultPlan from its textual form (the
+// affinitysim -faults syntax), e.g. "down:0@500ms,up:0@1.5s,loss:0.01@0s".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.Parse(s) }
 
 // Run executes one simulation and returns its metrics.
 func Run(p Params) Results { return sim.Run(p) }

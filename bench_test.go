@@ -64,6 +64,9 @@ func BenchmarkFigE22Heterogeneous(b *testing.B)       { benchExperiment(b, "E22"
 func BenchmarkFigE23SeedRobustness(b *testing.B)      { benchExperiment(b, "E23") }
 func BenchmarkFigE24PlatformSensitivity(b *testing.B) { benchExperiment(b, "E24") }
 func BenchmarkFigE25DataTouchRate(b *testing.B)       { benchExperiment(b, "E25") }
+func BenchmarkFigE26FaultResilience(b *testing.B)     { benchExperiment(b, "E26") }
+func BenchmarkFigE27BoundedQueues(b *testing.B)       { benchExperiment(b, "E27") }
+func BenchmarkFigE28RecoveryTransient(b *testing.B)   { benchExperiment(b, "E28") }
 
 // --- micro-benchmarks ---
 

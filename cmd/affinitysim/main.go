@@ -46,6 +46,8 @@ func main() {
 		burst     = flag.Float64("burst", 1, "mean burst size (1 = plain Poisson)")
 		train     = flag.Float64("train", 0, "mean packet-train length (0 = disabled)")
 		intensity = flag.Float64("intensity", 1, "non-protocol workload intensity V in [0,1]")
+		faultSpec = flag.String("faults", "", "fault plan, e.g. \"down:0@500ms,up:0@1.5s,slow:2x0.5@1s,loss:0.01@0s,burst:*x200@2s\"")
+		maxQueue  = flag.Int("maxqueue", 0, "per-queue capacity bound; arrivals beyond it are dropped (0 = unbounded)")
 		dataTouch = flag.Float64("datatouch", 0, "per-packet data-touching cost (µs)")
 		packets   = flag.Int("packets", 15000, "measured packet completions")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -63,6 +65,14 @@ func main() {
 		DataTouch:       *dataTouch,
 		Seed:            *seed,
 		MeasuredPackets: *packets,
+		MaxQueueDepth:   *maxQueue,
+	}
+	if *faultSpec != "" {
+		plan, err := affinity.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		p.Faults = plan
 	}
 	switch strings.ToLower(*paradigm) {
 	case "locking":
@@ -219,6 +229,15 @@ func printResults(r affinity.Results) {
 	}
 	fmt.Printf("warm fraction   %.2f\n", r.WarmFraction)
 	fmt.Printf("migrations      %d (cold starts %d)\n", r.Migrations, r.ColdStarts)
+	if r.Dropped > 0 {
+		fmt.Printf("dropped         %d packets (%.2f%% of arrivals), goodput %.0f pkt/s\n",
+			r.Dropped, 100*r.DropFraction, r.GoodputPPS)
+	}
+	for i, dt := range r.PerProcDownTime {
+		if dt > 0 {
+			fmt.Printf("proc %-2d down    %.0f µs\n", i, dt)
+		}
+	}
 	fmt.Printf("utilization     %.2f\n", r.Utilization)
 	fmt.Printf("completed       %d packets in %v simulated\n", r.Completed, r.SimTime)
 	if r.Saturated {

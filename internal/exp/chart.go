@@ -165,6 +165,10 @@ func ChartFromTable(t *Table, xCol int, yCols ...int) *Chart {
 func parseCell(cell string) (float64, error) {
 	cell = strings.TrimSuffix(strings.TrimSpace(cell), "*")
 	cell = strings.TrimSuffix(cell, "%")
+	// A leading '>' marks a clamped quantile (the histogram's upper
+	// bound, a lower bound on the true value); plot the bound rather
+	// than dropping the point and leaving a hole in the curve.
+	cell = strings.TrimPrefix(cell, ">")
 	return strconv.ParseFloat(cell, 64)
 }
 
@@ -203,4 +207,5 @@ var chartSpecs = map[string]chartSpec{
 	"E17": {0, []int{1, 2}, "delay µs", true},
 	"E18": {0, []int{1, 2, 3}, "delay µs", true},
 	"E21": {0, []int{1, 2}, "delay µs", true},
+	"E27": {0, []int{1, 3}, "drop %", false},
 }

@@ -13,8 +13,9 @@ func sweepTable() *Table {
 	}
 	t.AddRow(100.0, "250.0", "230.0")
 	t.AddRow(200.0, "260.0", "235.0")
-	t.AddRow(400.0, "50000*", "400.0") // saturated cell still plots
-	t.AddRow(800.0, "—", "500.0")      // unparsable cell skipped
+	t.AddRow(400.0, "50000*", "400.0")  // saturated cell still plots
+	t.AddRow(800.0, "—", "500.0")       // unparsable cell skipped
+	t.AddRow(900.0, ">100000", "600.0") // clamped quantile plots its bound
 	return t
 }
 
@@ -23,14 +24,41 @@ func TestChartFromTable(t *testing.T) {
 	if len(c.Series) != 2 {
 		t.Fatalf("series = %d, want 2", len(c.Series))
 	}
-	if len(c.Series[0].X) != 3 { // the dash row is skipped
-		t.Fatalf("FCFS points = %d, want 3", len(c.Series[0].X))
+	if len(c.Series[0].X) != 4 { // the dash row is skipped
+		t.Fatalf("FCFS points = %d, want 4", len(c.Series[0].X))
 	}
-	if len(c.Series[1].X) != 4 {
-		t.Fatalf("MRU points = %d, want 4", len(c.Series[1].X))
+	if len(c.Series[1].X) != 5 {
+		t.Fatalf("MRU points = %d, want 5", len(c.Series[1].X))
 	}
 	if c.Series[0].Y[2] != 50000 {
 		t.Fatalf("saturated cell parsed as %v", c.Series[0].Y[2])
+	}
+	if c.Series[0].Y[3] != 100000 {
+		t.Fatalf("clamped-P95 cell parsed as %v, want 100000", c.Series[0].Y[3])
+	}
+}
+
+// parseCell handles every marker the tables emit: saturation '*',
+// percentages, and the '>' prefix on quantiles clamped at the
+// histogram's upper bound.
+func TestParseCellMarkers(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+	}{
+		{"250.0", 250},
+		{"50000*", 50000},
+		{"12.5%", 12.5},
+		{">100000", 100000},
+		{" >2500.5* ", 2500.5},
+	} {
+		got, err := parseCell(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseCell(%q) = %v, %v, want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := parseCell("—"); err == nil {
+		t.Error("dash cell parsed without error")
 	}
 }
 
@@ -44,8 +72,8 @@ func TestChartRenderContainsStructure(t *testing.T) {
 			t.Fatalf("rendering missing %q:\n%s", want, out)
 		}
 	}
-	// Axis bounds must appear (x from 100 to 800).
-	if !strings.Contains(out, "100") || !strings.Contains(out, "800") {
+	// Axis bounds must appear (x from 100 to 900).
+	if !strings.Contains(out, "100") || !strings.Contains(out, "900") {
 		t.Fatalf("x-axis bounds missing:\n%s", out)
 	}
 }

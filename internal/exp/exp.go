@@ -172,6 +172,9 @@ func All() []Experiment {
 		{"E23", "Seed robustness of the headline conclusions", FigE23},
 		{"E24", "Platform sensitivity: reload transient vs benefit (Vaswani–Zahorjan reconciliation)", FigE24},
 		{"E25", "Data-touching rate validation (32 bytes/µs checksum)", FigE25},
+		{"E26", "Policy resilience under a single-processor failure", FigE26},
+		{"E27", "Bounded queues under overload: drop/goodput vs queue bound", FigE27},
+		{"E28", "Recovery-transient length after processor failback", FigE28},
 	}
 }
 

@@ -262,6 +262,14 @@ func (c *ChromeTrace) Record(e Event) {
 			proc = 0
 		}
 		c.instant("spill", e.T, proc, "stream", e.Stream)
+	case KindProcDown:
+		c.instant("proc down", e.T, e.Proc, "proc", e.Proc)
+	case KindProcUp:
+		c.instant("proc up", e.T, e.Proc, "proc", e.Proc)
+	case KindDrop:
+		// Drops happen before a processor is involved; pin the marker
+		// to track 0 and carry the stream that lost the packet.
+		c.instant("drop", e.T, 0, "stream", e.Stream)
 	case KindGaugeQueue:
 		c.counter("queued packets", e.T, e.Val)
 	case KindGaugeOverflow:

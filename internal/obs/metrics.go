@@ -15,6 +15,7 @@ type Metrics struct {
 	queueWait stats.Accumulator // KindDispatch durations
 	busySpan  stats.Accumulator // KindProcIdle durations (closed busy intervals)
 	idleSpan  stats.Accumulator // KindProcBusy durations (closed idle intervals)
+	downSpan  stats.Accumulator // KindProcUp durations (closed down intervals)
 	depth     stats.Accumulator // KindGaugeQueue samples
 	heap      stats.Accumulator // KindGaugeHeap samples
 
@@ -45,6 +46,8 @@ func (m *Metrics) Record(e Event) {
 			}
 			m.procBusy[e.Proc] += e.Dur
 		}
+	case KindProcUp:
+		m.downSpan.Add(e.Dur)
 	case KindGaugeQueue:
 		m.depth.Add(e.Val)
 	case KindGaugeHeap:
@@ -65,7 +68,7 @@ func (m *Metrics) Count(k Kind) uint64 {
 
 // Summary condenses one Accumulator for a snapshot.
 type Summary struct {
-	N                    uint64
+	N                      uint64
 	Mean, StdDev, Min, Max float64
 }
 
@@ -87,11 +90,14 @@ type Snapshot struct {
 	Migrations  uint64
 	ColdStarts  uint64
 	Spills      uint64
+	Drops       uint64 // KindDrop events (queue-full rejections + injected loss)
+	ProcDowns   uint64 // KindProcDown events (injected processor failures)
 
 	ExecTime     Summary // per-completion protocol execution, µs
 	QueueWait    Summary // per-dispatch queueing delay, µs
 	BusyInterval Summary // closed processor busy intervals, µs
 	IdleInterval Summary // closed processor idle intervals, µs
+	DownInterval Summary // closed processor down intervals, µs
 	QueueDepth   Summary // sampled waiting packets
 	HeapSize     Summary // sampled DES pending-event count
 
@@ -112,11 +118,14 @@ func (m *Metrics) Snapshot() Snapshot {
 		Migrations:  m.counts[KindMigration],
 		ColdStarts:  m.counts[KindColdStart],
 		Spills:      m.counts[KindSpill],
+		Drops:       m.counts[KindDrop],
+		ProcDowns:   m.counts[KindProcDown],
 
 		ExecTime:     summarize(&m.execTime),
 		QueueWait:    summarize(&m.queueWait),
 		BusyInterval: summarize(&m.busySpan),
 		IdleInterval: summarize(&m.idleSpan),
+		DownInterval: summarize(&m.downSpan),
 		QueueDepth:   summarize(&m.depth),
 		HeapSize:     summarize(&m.heap),
 

@@ -53,6 +53,16 @@ const (
 	// KindProcIdle marks a processor returning to the background
 	// workload; Dur is the busy interval just ended.
 	KindProcIdle
+	// KindProcDown marks a processor failing (fault injection): it
+	// serves no protocol work until the matching KindProcUp.
+	KindProcDown
+	// KindProcUp marks a failed processor recovering, with a cold
+	// cache; Dur is the down interval just ended.
+	KindProcUp
+	// KindDrop marks a packet leaving the system unserved — rejected
+	// by a full bounded queue or lost to injected packet loss. Val is
+	// the drop reason (see DropReason*).
+	KindDrop
 	// KindGaugeQueue samples the number of packets waiting in all
 	// queues (Val).
 	KindGaugeQueue
@@ -73,9 +83,19 @@ const (
 var kindNames = [numKinds]string{
 	"arrival", "enqueue", "dispatch", "exec_start", "exec_end",
 	"migration", "cold_start", "spill", "proc_busy", "proc_idle",
+	"proc_down", "proc_up", "drop",
 	"gauge_queue", "gauge_overflow", "gauge_heap",
 	"gauge_disp_np", "gauge_disp_proto",
 }
+
+// Drop reasons carried in a KindDrop event's Val field.
+const (
+	// DropReasonQueue marks a packet rejected because the queue it
+	// would join was at its configured capacity.
+	DropReasonQueue = 0
+	// DropReasonLoss marks a packet removed by injected packet loss.
+	DropReasonLoss = 1
+)
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {

@@ -25,6 +25,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"affinity/internal/des"
 )
@@ -76,7 +77,10 @@ func (k Kind) String() string {
 }
 
 // ForLocking reports whether the policy applies to the Locking paradigm.
-func (k Kind) ForLocking() bool { return k <= WiredStreams }
+// The range check is closed on both ends: a negative or otherwise
+// out-of-range Kind is not a Locking policy and must fail paradigm
+// validation rather than silently pass it.
+func (k Kind) ForLocking() bool { return k >= FCFS && k <= WiredStreams }
 
 // ForIPS reports whether the policy applies to the IPS paradigm.
 func (k Kind) ForIPS() bool {
@@ -100,6 +104,20 @@ type PacketDispatcher interface {
 	RanOn(entity, proc int)
 	// Queued returns the number of packets waiting.
 	Queued() int
+	// DepthFor returns how many packets are waiting in the queue p
+	// would join if enqueued now — the quantity a bounded-queue
+	// admission decision compares against the capacity.
+	DepthFor(p Packet) int
+	// ProcDown removes proc from service (fault injection): policies
+	// with static placement re-home entities bound to it and migrate
+	// their queued packets; affinity memories pointing at it are
+	// forgotten. The runner stops offering proc in idle sets and stops
+	// calling Dispatch for it until ProcUp.
+	ProcDown(proc int)
+	// ProcUp restores proc to service. Wired policies re-home their
+	// displaced entities back (the first packets after failback pay a
+	// cold-cache penalty — the simulator wiped the processor's state).
+	ProcUp(proc int)
 	// AffinityStats reports how many placement/dispatch decisions
 	// landed work on the processor holding the entity's warm state,
 	// out of the total decisions made.
@@ -183,6 +201,13 @@ func (f *fcfs) Dispatch(int) (Packet, bool) {
 func (*fcfs) RanOn(int, int) {}
 func (f *fcfs) Queued() int  { return f.q.len() }
 
+func (f *fcfs) DepthFor(Packet) int { return f.q.len() }
+
+// FCFS has no placement state to degrade: the central queue serves
+// whichever processors remain.
+func (*fcfs) ProcDown(int) {}
+func (*fcfs) ProcUp(int)   {}
+
 // mru: central FIFO with affinity preference at both decision points.
 type mru struct {
 	affinityCount
@@ -233,19 +258,43 @@ func (m *mru) Dispatch(proc int) (Packet, bool) {
 func (m *mru) RanOn(entity, proc int) { m.mru[entity] = proc }
 func (m *mru) Queued() int            { return m.q.len() }
 
+func (m *mru) DepthFor(Packet) int { return m.q.len() }
+
+// ProcDown forgets every affinity pointing at the failed processor: its
+// cache contents are lost, so steering work back there on recovery
+// would pay the cold-start cost for no benefit.
+func (m *mru) ProcDown(proc int) {
+	for e, h := range m.mru {
+		if h == proc {
+			delete(m.mru, e)
+		}
+	}
+}
+
+func (*mru) ProcUp(int) {}
+
 // pools: per-processor queues with a per-stream home. With stealing it
 // is the ThreadPools policy, without it Wired-Streams.
 type pools struct {
 	affinityCount
 	queues   []fifo
 	home     map[int]int
+	pref     map[int]int // entity → original (pre-fault) home, the failback target
+	avail    []bool
 	stealing bool
 	nextHome int // round-robin assignment of new entities
 	rng      *des.RNG
 }
 
 func newPools(n int, stealing bool, rng *des.RNG) *pools {
-	return &pools{queues: make([]fifo, n), home: map[int]int{}, stealing: stealing, rng: rng}
+	avail := make([]bool, n)
+	for i := range avail {
+		avail[i] = true
+	}
+	return &pools{
+		queues: make([]fifo, n), home: map[int]int{}, pref: map[int]int{},
+		avail: avail, stealing: stealing, rng: rng,
+	}
 }
 
 func (p *pools) Name() string {
@@ -258,10 +307,28 @@ func (p *pools) Name() string {
 func (p *pools) homeOf(entity int) int {
 	h, ok := p.home[entity]
 	if !ok {
-		h = p.nextHome % len(p.queues)
-		p.nextHome++
+		h = p.nextAvailHome()
 		p.home[entity] = h
+		p.pref[entity] = h
 	}
+	return h
+}
+
+// nextAvailHome advances the round-robin cursor to the next live
+// processor. With every processor down it falls back to the plain
+// round-robin choice: the packet waits in that pool until a recovery
+// re-homes it, and packet conservation still holds.
+func (p *pools) nextAvailHome() int {
+	n := len(p.queues)
+	for range p.queues {
+		h := p.nextHome % n
+		p.nextHome++
+		if p.avail[h] {
+			return h
+		}
+	}
+	h := p.nextHome % n
+	p.nextHome++
 	return h
 }
 
@@ -324,6 +391,68 @@ func (p *pools) Queued() int {
 	return n
 }
 
+func (p *pools) DepthFor(pk Packet) int { return p.queues[p.homeOf(pk.Entity)].len() }
+
+// ProcDown re-homes every entity bound to the failed processor onto the
+// remaining live ones (round-robin, in ascending entity order — map
+// iteration order is randomized and re-homing must be deterministic)
+// and migrates its queued packets to their new pools in arrival order.
+func (p *pools) ProcDown(proc int) {
+	p.avail[proc] = false
+	var ids []int
+	for e, h := range p.home {
+		if h == proc {
+			ids = append(ids, e)
+		}
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		p.home[e] = p.nextAvailHome()
+	}
+	for {
+		pk, ok := p.queues[proc].pop()
+		if !ok {
+			break
+		}
+		p.queues[p.homeOf(pk.Entity)].push(pk)
+	}
+}
+
+// ProcUp restores the processor. Wired-Streams entities originally
+// homed here fail back (with their queued packets; per-stream FIFO
+// order is preserved because a stream's packets all sit contiguously in
+// one pool). ThreadPools re-balances on its own — stealing migrates
+// homes toward the recovered processor as soon as it picks up work.
+func (p *pools) ProcUp(proc int) {
+	p.avail[proc] = true
+	if p.stealing {
+		return
+	}
+	var ids []int
+	for e, h := range p.pref {
+		if h == proc && p.home[e] != proc {
+			ids = append(ids, e)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		p.home[e] = proc
+	}
+	for q := range p.queues {
+		if q == proc {
+			continue
+		}
+		for _, pk := range p.queues[q].drainMatching(func(pk Packet) bool {
+			return p.home[pk.Entity] == proc
+		}) {
+			p.queues[proc].push(pk)
+		}
+	}
+}
+
 // fifo is a slice-backed FIFO of packets that recycles its backing
 // array: the head index advances on pop (slots cleared so packets don't
 // linger past their dequeue) and the array resets when the queue drains
@@ -374,6 +503,28 @@ func (f *fifo) indexWhereN(n int, pred func(Packet) bool) int {
 		}
 	}
 	return -1
+}
+
+// drainMatching removes every queued packet satisfying pred, preserving
+// FIFO order among both the removed and the remaining packets, and
+// returns the removed ones. Only fault transitions call it, so the
+// allocation is off the hot path.
+func (f *fifo) drainMatching(pred func(Packet) bool) []Packet {
+	var out []Packet
+	kept := f.items[f.head:f.head]
+	for _, p := range f.items[f.head:] {
+		if pred(p) {
+			out = append(out, p)
+		} else {
+			kept = append(kept, p)
+		}
+	}
+	tail := f.head + len(kept)
+	for i := tail; i < len(f.items); i++ {
+		f.items[i] = Packet{}
+	}
+	f.items = f.items[:tail]
+	return out
 }
 
 // removeAt removes and returns the packet at position i (0 = head). The

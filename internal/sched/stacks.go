@@ -23,6 +23,14 @@ type StackDispatcher interface {
 	RanOn(stack, proc int)
 	// QueuedStacks returns the number of ready stacks waiting.
 	QueuedStacks() int
+	// ProcDown removes proc from service (fault injection): IPS-Wired
+	// re-wires its stacks onto live processors and moves their queued
+	// entries; IPS-MRU forgets affinities pointing at it.
+	ProcDown(proc int)
+	// ProcUp restores proc to service; IPS-Wired wires its original
+	// stacks back (their first runs after failback start cold — the
+	// simulator wiped the processor's cache state).
+	ProcUp(proc int)
 	// AffinityStats reports how many placement/dispatch decisions
 	// landed a stack on its warm processor, out of the total made.
 	AffinityStats() (hits, total uint64)
@@ -55,17 +63,31 @@ func NewStackDispatcherLookahead(k Kind, stacks, procs int, rng *des.RNG, lookah
 }
 
 // wiredStacks: stack k is bound to processor k mod procs; each processor
-// has a FIFO runqueue of its ready stacks.
+// has a FIFO runqueue of its ready stacks. Fault injection moves the
+// current wiring (wire) while wire0 remembers the original binding so a
+// recovered processor gets its stacks back.
 type wiredStacks struct {
 	affinityCount
-	wire []int
-	runq [][]int
+	wire  []int // current wiring (fault re-homing moves it)
+	wire0 []int // original wiring, the failback target
+	avail []bool
+	runq  [][]int
+	next  int // round-robin cursor for fault re-homing
 }
 
 func newWiredStacks(stacks, procs int) *wiredStacks {
-	w := &wiredStacks{wire: make([]int, stacks), runq: make([][]int, procs)}
+	w := &wiredStacks{
+		wire:  make([]int, stacks),
+		wire0: make([]int, stacks),
+		avail: make([]bool, procs),
+		runq:  make([][]int, procs),
+	}
 	for s := range w.wire {
 		w.wire[s] = s % procs
+		w.wire0[s] = w.wire[s]
+	}
+	for i := range w.avail {
+		w.avail[i] = true
 	}
 	return w
 }
@@ -102,6 +124,69 @@ func (w *wiredStacks) DispatchStack(proc int) int {
 }
 
 func (*wiredStacks) RanOn(int, int) {}
+
+// nextAvail advances the re-homing cursor to the next live processor,
+// falling back to plain round-robin when every processor is down (the
+// stack then waits until a recovery re-wires it).
+func (w *wiredStacks) nextAvail() int {
+	n := len(w.runq)
+	for range w.runq {
+		h := w.next % n
+		w.next++
+		if w.avail[h] {
+			return h
+		}
+	}
+	h := w.next % n
+	w.next++
+	return h
+}
+
+// ProcDown re-wires the failed processor's stacks onto live processors
+// (round-robin, ascending stack order) and moves its ready queue to the
+// new homes preserving queue order.
+func (w *wiredStacks) ProcDown(proc int) {
+	w.avail[proc] = false
+	for s := range w.wire {
+		if w.wire[s] == proc {
+			w.wire[s] = w.nextAvail()
+		}
+	}
+	for _, s := range w.runq[proc] {
+		w.runq[w.wire[s]] = append(w.runq[w.wire[s]], s)
+	}
+	w.runq[proc] = w.runq[proc][:0]
+}
+
+// ProcUp wires the processor's original stacks back and pulls their
+// queued entries home.
+func (w *wiredStacks) ProcUp(proc int) {
+	w.avail[proc] = true
+	moved := false
+	for s := range w.wire {
+		if w.wire0[s] == proc && w.wire[s] != proc {
+			w.wire[s] = proc
+			moved = true
+		}
+	}
+	if !moved {
+		return
+	}
+	for q := range w.runq {
+		if q == proc {
+			continue
+		}
+		kept := w.runq[q][:0]
+		for _, s := range w.runq[q] {
+			if w.wire[s] == proc {
+				w.runq[proc] = append(w.runq[proc], s)
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		w.runq[q] = kept
+	}
+}
 
 func (w *wiredStacks) QueuedStacks() int {
 	n := 0
@@ -164,6 +249,18 @@ func (m *mruStacks) RanOn(stack, proc int) { m.mru[stack] = proc }
 
 func (m *mruStacks) QueuedStacks() int { return len(m.ready) }
 
+// ProcDown forgets affinities pointing at the failed processor (see
+// mru.ProcDown).
+func (m *mruStacks) ProcDown(proc int) {
+	for s, h := range m.mru {
+		if h == proc {
+			delete(m.mru, s)
+		}
+	}
+}
+
+func (*mruStacks) ProcUp(int) {}
+
 // randomStacks is the no-affinity IPS baseline: a ready stack is placed
 // on a uniformly random idle processor and dispatched FIFO, with no
 // memory of where it ran before. The affinity policies are measured
@@ -196,3 +293,7 @@ func (r *randomStacks) DispatchStack(int) int {
 func (*randomStacks) RanOn(int, int) {}
 
 func (r *randomStacks) QueuedStacks() int { return len(r.ready) }
+
+// IPS-Random has no placement state to degrade.
+func (*randomStacks) ProcDown(int) {}
+func (*randomStacks) ProcUp(int)   {}

@@ -6,6 +6,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"affinity/internal/core"
+	"affinity/internal/traffic"
 )
 
 // Pool executes simulation runs on a bounded number of worker slots and
@@ -106,30 +109,54 @@ func (pl *Pool) runLimited(p Params) Results {
 
 // CacheKey returns a canonical identity for the run p describes:
 // parameters are defaulted first, and pointed-to configuration (model,
-// background workload, arrival specs) enters by value, so two Params
-// built independently but describing the same run share a key. The
-// second return is false when the run is not cacheable (an attached
-// Recorder makes the run's event stream a side effect).
+// background workload, fault plan, arrival specs) enters by value, so
+// two Params built independently but describing the same run share a
+// key and any semantic difference changes it. The second return is
+// false when the run is not cacheable (an attached Recorder makes the
+// run's event stream a side effect).
+//
+// Every field is spelled out by hand rather than formatted with %#v:
+// the reflective form is sensitive to representation details (field
+// order, nested struct names, pointer rendering) that are not part of a
+// run's identity, and it silently degrades to an address — a key that
+// never matches — if a pointer field is ever added to the model.
+// TestCacheKeyCoversAllParams pins the field list to the Params struct
+// so a new field cannot be forgotten here.
 func CacheKey(p Params) (string, bool) {
 	if p.Recorder != nil {
 		return "", false
 	}
 	p = p.WithDefaults()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%#v|%#v|", *p.Model, *p.Background)
-	fmt.Fprintf(&b, "%d|%v|%d|%d|%d|", p.Paradigm, p.Policy, p.Processors, p.Streams, p.Stacks)
-	fmt.Fprintf(&b, "%#v|", p.Arrival)
-	for _, s := range p.ArrivalPerStream {
-		fmt.Fprintf(&b, "%#v;", s)
+	pl := p.Model.Platform
+	fmt.Fprintf(&b, "plat:%d,%g,%g,%t", pl.Processors, pl.ClockMHz, pl.CyclesPerRef, pl.L1SplitEvenRef)
+	for _, cc := range [3]core.CacheConfig{pl.L1I, pl.L1D, pl.L2} {
+		fmt.Fprintf(&b, ";%d,%d,%d", cc.SizeBytes, cc.LineBytes, cc.Assoc)
 	}
-	fmt.Fprintf(&b, "|%v|%v|%v|%v|%d|%d|%d|",
-		p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch,
-		p.HybridOverflow, p.MRULookahead, p.Seed)
-	fmt.Fprintf(&b, "%v|%d|%v|%v|%d|%d|%v",
-		p.Warmup, p.MeasuredPackets, p.MaxTime, p.TargetRelCI,
-		p.TraceN, p.BatchSize, p.SamplePeriod)
+	w := p.Model.Workload
+	fmt.Fprintf(&b, "|wl:%g,%g,%g,%g", w.W, w.A, w.B, w.LogD)
+	cal := p.Model.Calib
+	fmt.Fprintf(&b, "|cal:%g,%g,%g", cal.TWarm, cal.TL1Cold, cal.TCold)
+	fmt.Fprintf(&b, "|bg:%g,%g", p.Background.Intensity, p.Background.PreemptCost)
+	fmt.Fprintf(&b, "|run:%d,%d,%d,%d,%d", p.Paradigm, p.Policy, p.Processors, p.Streams, p.Stacks)
+	fmt.Fprintf(&b, "|arr:%s", specKey(p.Arrival))
+	for _, s := range p.ArrivalPerStream {
+		fmt.Fprintf(&b, ";%s", specKey(s))
+	}
+	fmt.Fprintf(&b, "|cost:%g,%g,%g,%g", p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch)
+	fmt.Fprintf(&b, "|q:%d,%d,%d", p.HybridOverflow, p.MRULookahead, p.MaxQueueDepth)
+	fmt.Fprintf(&b, "|faults:%s", p.Faults.String())
+	fmt.Fprintf(&b, "|seed:%d", p.Seed)
+	fmt.Fprintf(&b, "|stop:%g,%d,%g,%g,%d", float64(p.Warmup), p.MeasuredPackets,
+		float64(p.MaxTime), p.TargetRelCI, p.BatchSize)
+	fmt.Fprintf(&b, "|obs:%d,%g", p.TraceN, float64(p.SamplePeriod))
 	return b.String(), true
 }
+
+// specKey renders an arrival spec canonically: the dynamic type name
+// plus its exported fields by value. %+v dereferences pointer specs to
+// their contents (no addresses), so equal specs always render equally.
+func specKey(s traffic.Spec) string { return fmt.Sprintf("%T%+v", s, s) }
 
 // RunMany executes independent simulations concurrently on up to
 // workers goroutines (0 selects GOMAXPROCS) and returns results in input

@@ -5,9 +5,12 @@ import (
 	"testing"
 
 	"affinity/internal/core"
+	"affinity/internal/des"
+	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/traffic"
+	"affinity/internal/workload"
 )
 
 func poolParams(seed int64) Params {
@@ -80,6 +83,90 @@ func TestPoolKeySeparatesDistinctRuns(t *testing.T) {
 		mutate(&p)
 		if k, _ := CacheKey(p); k == kBase {
 			t.Errorf("%s: key collision", name)
+		}
+	}
+}
+
+// cacheKeyMutations changes every Params field, one at a time, in a way
+// that alters run identity. TestCacheKeyCoversAllParams checks the map
+// covers the struct; TestCacheKeyFieldSensitivity checks each mutation
+// moves the key.
+var cacheKeyMutations = map[string]func(*Params){
+	"Model": func(p *Params) {
+		m := core.NewModel()
+		m.Platform.ClockMHz *= 2
+		p.Model = m
+	},
+	"Paradigm":   func(p *Params) { p.Paradigm = IPS },
+	"Policy":     func(p *Params) { p.Policy = sched.FCFS },
+	"Processors": func(p *Params) { p.Processors = 3 },
+	"Streams":    func(p *Params) { p.Streams = 5 },
+	"Stacks":     func(p *Params) { p.Stacks = 2 },
+	"Arrival":    func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 801} },
+	"ArrivalPerStream": func(p *Params) {
+		p.ArrivalPerStream = []traffic.Spec{
+			traffic.Poisson{PacketsPerSec: 1}, traffic.Poisson{PacketsPerSec: 2},
+			traffic.Poisson{PacketsPerSec: 3}, traffic.Poisson{PacketsPerSec: 4},
+		}
+	},
+	"Background":      func(p *Params) { p.Background = &workload.NonProtocol{Intensity: 0.1} },
+	"LockOverhead":    func(p *Params) { p.LockOverhead = 7 },
+	"LockCritFrac":    func(p *Params) { p.LockCritFrac = 0.4 },
+	"CodeSharedFrac":  func(p *Params) { p.CodeSharedFrac = 0.9 },
+	"DataTouch":       func(p *Params) { p.DataTouch = 35 },
+	"HybridOverflow":  func(p *Params) { p.HybridOverflow = 9 },
+	"MRULookahead":    func(p *Params) { p.MRULookahead = 8 },
+	"Seed":            func(p *Params) { p.Seed = 2 },
+	"Warmup":          func(p *Params) { p.Warmup = 5 * des.Millisecond },
+	"MeasuredPackets": func(p *Params) { p.MeasuredPackets = 301 },
+	"MaxTime":         func(p *Params) { p.MaxTime = des.Second },
+	"TargetRelCI":     func(p *Params) { p.TargetRelCI = 0.05 },
+	"TraceN":          func(p *Params) { p.TraceN = 10 },
+	"BatchSize":       func(p *Params) { p.BatchSize = 99 },
+	"Faults":          func(p *Params) { p.Faults = (&faults.Plan{}).Down(des.Second, 0) },
+	"MaxQueueDepth":   func(p *Params) { p.MaxQueueDepth = 16 },
+	"Recorder":        func(p *Params) { p.Recorder = obs.NewMetrics() },
+	"SamplePeriod":    func(p *Params) { p.SamplePeriod = 2 * des.Millisecond },
+}
+
+// CacheKey spells Params out field by field (no %#v), so a field added
+// to Params could silently be left out of the key and alias distinct
+// runs. This pins the struct's field set to the mutation table above:
+// adding a field fails here until a mutation (and the key) covers it.
+func TestCacheKeyCoversAllParams(t *testing.T) {
+	typ := reflect.TypeOf(Params{})
+	for i := 0; i < typ.NumField(); i++ {
+		if _, ok := cacheKeyMutations[typ.Field(i).Name]; !ok {
+			t.Errorf("Params.%s has no cache-key mutation — update cacheKeyMutations and CacheKey", typ.Field(i).Name)
+		}
+	}
+	if typ.NumField() != len(cacheKeyMutations) {
+		t.Errorf("mutation table has %d entries for %d Params fields", len(cacheKeyMutations), typ.NumField())
+	}
+}
+
+// Every field mutation must move the cache key (Recorder instead makes
+// the run uncacheable).
+func TestCacheKeyFieldSensitivity(t *testing.T) {
+	base := poolParams(1)
+	kBase, ok := CacheKey(base)
+	if !ok {
+		t.Fatal("base params not cacheable")
+	}
+	for name, mutate := range cacheKeyMutations {
+		p := base
+		mutate(&p)
+		k, cacheable := CacheKey(p)
+		if name == "Recorder" {
+			if cacheable {
+				t.Error("Recorder run reported cacheable")
+			}
+			continue
+		}
+		if !cacheable {
+			t.Errorf("%s: mutated params not cacheable", name)
+		} else if k == kBase {
+			t.Errorf("%s: key collision after mutation", name)
 		}
 	}
 }

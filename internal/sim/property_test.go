@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"affinity/internal/core"
+	"affinity/internal/des"
 	"affinity/internal/sched"
 	"affinity/internal/traffic"
 )
@@ -14,7 +15,9 @@ import (
 // configuration, not just the published experiment points.
 
 // conservationCases sweeps every paradigm with a representative policy
-// pair, light and heavy load.
+// pair, light and heavy load — each point both healthy and degraded
+// (failure window, injected loss, bounded queues), since the ledger must
+// balance under faults too.
 func conservationCases() []Params {
 	var ps []Params
 	for _, c := range []struct {
@@ -33,6 +36,10 @@ func conservationCases() []Params {
 			p.Arrival = traffic.Poisson{PacketsPerSec: rate}
 			p.MeasuredPackets = 2000
 			ps = append(ps, p)
+			f := p
+			f.Faults = downWindow().WithLoss(150*des.Millisecond, 0.02)
+			f.MaxQueueDepth = 48
+			ps = append(ps, f)
 		}
 	}
 	return ps
@@ -40,16 +47,17 @@ func conservationCases() []Params {
 
 // TestPacketConservationResults checks, on the public Results surface,
 // that no packet is created or lost: every arrival is either completed,
-// in service, or still queued when the run stops. (sim_test.go holds a
-// white-box twin inspecting runner state directly.)
+// in service, still queued, or explicitly dropped when the run stops.
+// (sim_test.go holds a white-box twin inspecting runner state directly.)
 func TestPacketConservationResults(t *testing.T) {
 	for _, p := range conservationCases() {
 		res := Run(p)
-		accounted := res.CompletedTotal + uint64(res.InFlightAtEnd) + uint64(res.QueueAtEnd)
+		accounted := res.CompletedTotal + uint64(res.InFlightAtEnd) +
+			uint64(res.QueueAtEnd) + res.Dropped
 		if res.Arrivals != accounted {
-			t.Errorf("%s/%s rate=%v: arrivals %d != completed %d + in-flight %d + queued %d",
+			t.Errorf("%s/%s rate=%v: arrivals %d != completed %d + in-flight %d + queued %d + dropped %d",
 				res.Paradigm, res.Policy, res.OfferedRate,
-				res.Arrivals, res.CompletedTotal, res.InFlightAtEnd, res.QueueAtEnd)
+				res.Arrivals, res.CompletedTotal, res.InFlightAtEnd, res.QueueAtEnd, res.Dropped)
 		}
 		if res.CompletedTotal < res.Completed {
 			t.Errorf("%s/%s: measured completions %d exceed total %d",

@@ -6,6 +6,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/des"
+	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/stats"
@@ -38,6 +39,15 @@ type procState struct {
 	markNP    []float64 // entity → dispNP at last completion here
 	markProto []float64 // entity → dispProto at last completion here
 	util      stats.TimeWeighted
+
+	// Fault-injection state: a down processor takes no new work (its
+	// in-flight packet drains gracefully, then it parks); slow scales
+	// charged execution time while a transient slow-down is active
+	// (1 = full speed, the only value touched on fault-free runs).
+	down      bool
+	downSince des.Time
+	downTime  float64 // closed down intervals, µs
+	slow      float64
 }
 
 // stackState tracks one IPS stack.
@@ -56,9 +66,9 @@ type pktQueue struct {
 	head int
 }
 
-func (q *pktQueue) len() int             { return len(q.buf) - q.head }
-func (q *pktQueue) front() sched.Packet  { return q.buf[q.head] }
-func (q *pktQueue) push(p sched.Packet)  { q.buf = append(q.buf, p) }
+func (q *pktQueue) len() int            { return len(q.buf) - q.head }
+func (q *pktQueue) front() sched.Packet { return q.buf[q.head] }
+func (q *pktQueue) push(p sched.Packet) { q.buf = append(q.buf, p) }
 func (q *pktQueue) pop() sched.Packet {
 	p := q.buf[q.head]
 	q.buf[q.head] = sched.Packet{}
@@ -109,6 +119,15 @@ type runner struct {
 	spills     uint64
 	measured   int
 	arrivals   uint64
+
+	// Fault injection: the scheduled plan events, the active loss
+	// probability, and its RNG stream (created only when the plan has
+	// loss events, so every other stream's published draws stay
+	// identical to a fault-free run's).
+	faultEvs []faultEvent
+	lossProb float64
+	lossRNG  *des.RNG
+	dropped  uint64
 
 	// rec is the effective recorder chain — the user's Params.Recorder
 	// plus the TraceN adapter — or nil when both are disabled. Every
@@ -178,6 +197,10 @@ func newRunner(p Params) *runner {
 		r.procs[i].markNP = make([]float64, entities)
 		r.procs[i].markProto = make([]float64, entities)
 		r.procs[i].util.Set(0, 0)
+		r.procs[i].slow = 1
+	}
+	if p.Faults.HasLoss() {
+		r.lossRNG = des.Stream(p.Seed, "fault-loss")
 	}
 	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
@@ -276,9 +299,52 @@ func gaugeSample(a any) {
 	r.sim.ScheduleArg(r.p.SamplePeriod, gaugeSample, r)
 }
 
-// start schedules every stream's arrival process and, when a recorder
-// is attached, the periodic gauge sampler.
+// faultEvent binds one plan event to its runner so the DES can fire it
+// through a non-capturing handler.
+type faultEvent struct {
+	r  *runner
+	ev faults.Event
+}
+
+func faultFire(a any) {
+	fe := a.(*faultEvent)
+	r := fe.r
+	switch fe.ev.Kind {
+	case faults.ProcDown:
+		r.procDown(fe.ev.Proc)
+	case faults.ProcUp:
+		r.procUp(fe.ev.Proc)
+	case faults.Slowdown:
+		r.procs[fe.ev.Proc].slow = fe.ev.Factor
+	case faults.Loss:
+		r.lossProb = fe.ev.Prob
+	case faults.Burst:
+		if fe.ev.Stream < 0 {
+			for s := 0; s < r.p.Streams; s++ {
+				for j := 0; j < fe.ev.Count; j++ {
+					r.arrive(s)
+				}
+			}
+			return
+		}
+		for j := 0; j < fe.ev.Count; j++ {
+			r.arrive(fe.ev.Stream)
+		}
+	}
+}
+
+// start schedules every stream's arrival process, the fault plan and,
+// when a recorder is attached, the periodic gauge sampler.
 func (r *runner) start() {
+	if !r.p.Faults.Empty() {
+		evs := r.p.Faults.Sorted()
+		r.faultEvs = make([]faultEvent, len(evs))
+		for i := range evs {
+			fe := &r.faultEvs[i]
+			fe.r, fe.ev = r, evs[i]
+			r.sim.ScheduleArgAt(evs[i].At, faultFire, fe)
+		}
+	}
 	if r.p.Recorder != nil {
 		r.sim.ScheduleArg(r.p.SamplePeriod, gaugeSample, r)
 	}
@@ -303,7 +369,7 @@ func (r *runner) start() {
 func (r *runner) idleProcs() []int {
 	idle := r.idleScratch[:0]
 	for i := range r.procs {
-		if !r.procs[i].busy {
+		if !r.procs[i].busy && !r.procs[i].down {
 			idle = append(idle, i)
 		}
 	}
@@ -318,12 +384,20 @@ func (r *runner) arrive(stream int) {
 		r.emit(obs.Event{T: float64(pkt.Arrive), Kind: obs.KindArrival,
 			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
 	}
+	if r.lossProb > 0 && r.lossRNG.Float64() < r.lossProb {
+		r.drop(pkt, obs.DropReasonLoss)
+		return
+	}
 	if r.p.Paradigm == Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
 				r.beginService(pkt, proc, true, true, compLocking)
 				return
 			}
+		}
+		if r.p.MaxQueueDepth > 0 && r.disp.DepthFor(pkt) >= r.p.MaxQueueDepth {
+			r.drop(pkt, obs.DropReasonQueue)
+			return
 		}
 		r.enqueued(pkt)
 		r.disp.Enqueue(pkt)
@@ -336,8 +410,8 @@ func (r *runner) arrive(stream int) {
 	if r.p.Paradigm == Hybrid && (st.running || st.queued) && st.q.len() >= r.p.HybridOverflow {
 		// The stack is backed up: spill to the shared locking path,
 		// which any idle processor may serve concurrently.
-		r.spills++
 		if idle := r.idleProcs(); len(idle) > 0 {
+			r.spills++
 			proc := idle[r.rng.Intn(len(idle))]
 			if r.rec != nil {
 				r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
@@ -346,6 +420,11 @@ func (r *runner) arrive(stream int) {
 			r.beginService(pkt, proc, true, true, compOverflow)
 			return
 		}
+		if r.p.MaxQueueDepth > 0 && r.overflow.len() >= r.p.MaxQueueDepth {
+			r.drop(pkt, obs.DropReasonQueue)
+			return
+		}
+		r.spills++
 		if r.rec != nil {
 			r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
 				Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
@@ -353,6 +432,16 @@ func (r *runner) arrive(stream int) {
 		r.enqueued(pkt)
 		r.overflow.push(pkt)
 		return
+	}
+	if r.p.MaxQueueDepth > 0 {
+		waiting := st.q.len()
+		if st.running {
+			waiting-- // the head is in service, not waiting
+		}
+		if waiting >= r.p.MaxQueueDepth {
+			r.drop(pkt, obs.DropReasonQueue)
+			return
+		}
 	}
 	st.q.push(pkt)
 	if st.running || st.queued {
@@ -376,6 +465,96 @@ func (r *runner) enqueued(pkt sched.Packet) {
 	if r.rec != nil {
 		r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindEnqueue,
 			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+	}
+}
+
+// drop removes an arrived packet from the system unserved. Dropped
+// packets stay in the conservation ledger: Arrivals = CompletedTotal +
+// InFlightAtEnd + QueueAtEnd + Dropped.
+func (r *runner) drop(pkt sched.Packet, reason int) {
+	r.dropped++
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindDrop,
+			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq,
+			Val: float64(reason)})
+	}
+}
+
+// procDown takes a processor out of service: the dispatcher re-homes
+// entities bound to it, its in-flight packet (if any) drains and then
+// the processor parks until procUp.
+func (r *runner) procDown(proc int) {
+	ps := &r.procs[proc]
+	if ps.down {
+		return
+	}
+	now := r.sim.Now()
+	ps.down = true
+	ps.downSince = now
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(now), Kind: obs.KindProcDown,
+			Proc: proc, Stream: -1, Entity: -1})
+	}
+	if r.p.Paradigm == Locking {
+		r.disp.ProcDown(proc)
+	} else {
+		r.sdisp.ProcDown(proc)
+	}
+	// Re-homed work may be runnable on other processors right now.
+	r.kickIdle()
+}
+
+// procUp returns a processor to service with a cold cache: whatever
+// protocol state it held is gone, so every entity restarts cold here —
+// the failback penalty the wired policies' re-homing must amortize.
+func (r *runner) procUp(proc int) {
+	ps := &r.procs[proc]
+	if !ps.down {
+		return
+	}
+	now := r.sim.Now()
+	ps.down = false
+	ps.downTime += float64(now - ps.downSince)
+	for i := range ps.seen {
+		ps.seen[i] = false
+	}
+	if r.rec != nil {
+		r.emit(obs.Event{T: float64(now), Kind: obs.KindProcUp,
+			Proc: proc, Stream: -1, Entity: -1, Dur: float64(now - ps.downSince)})
+	}
+	if r.p.Paradigm == Locking {
+		r.disp.ProcUp(proc)
+	} else {
+		r.sdisp.ProcUp(proc)
+	}
+	r.kickIdle()
+}
+
+// kickIdle offers queued work to every live idle processor. The normal
+// arrival/completion flow cannot see work that a fault transition moved
+// between queues (or a parked processor left behind), so every
+// transition ends with a kick — this is what guarantees no stream
+// strands while at least one processor is up.
+func (r *runner) kickIdle() {
+	for proc := range r.procs {
+		ps := &r.procs[proc]
+		if ps.busy || ps.down {
+			continue
+		}
+		if r.p.Paradigm == Locking {
+			if next, ok := r.disp.Dispatch(proc); ok {
+				r.beginService(next, proc, true, true, compLocking)
+			}
+			continue
+		}
+		if next := r.sdisp.DispatchStack(proc); next >= 0 {
+			r.stacks[next].queued = false
+			r.startStack(next, proc, true)
+			continue
+		}
+		if r.p.Paradigm == Hybrid && r.overflow.len() > 0 {
+			r.beginService(r.overflow.pop(), proc, true, true, compOverflow)
+		}
 	}
 }
 
@@ -490,6 +669,9 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 	if ps.busy && fromIdle {
 		panic("sim: placed packet on busy processor")
 	}
+	if ps.down {
+		panic("sim: placed packet on down processor")
+	}
 	preempt := 0.0
 	if fromIdle {
 		// Settle the idle period's background displacement.
@@ -509,6 +691,11 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 	x := r.xRefs(pkt.Entity, proc)
 	texec, f1 := r.exec.ExecTimeF1(x)
 	exec := texec + r.p.DataTouch
+	if ps.slow != 1 {
+		// Transient slow-down fault: scale the charged execution. Guarded
+		// so fault-free runs multiply nothing and stay bit-identical.
+		exec *= ps.slow
+	}
 	cold := math.IsInf(x, 1)
 	if cold {
 		r.coldStarts++
@@ -572,10 +759,15 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 	ps.markNP[pkt.Entity] = ps.dispNP
 	ps.markProto[pkt.Entity] = ps.dispProto
 	r.lastProcOf[pkt.Entity] = proc
-	if r.p.Paradigm == Locking {
-		r.disp.RanOn(pkt.Entity, proc)
-	} else {
-		r.sdisp.RanOn(pkt.Entity, proc)
+	if !ps.down {
+		// A completion draining off a failed processor must not refresh
+		// affinity: its cache is lost at recovery, and ThreadPools would
+		// otherwise migrate the stream's home onto the dead processor.
+		if r.p.Paradigm == Locking {
+			r.disp.RanOn(pkt.Entity, proc)
+		} else {
+			r.sdisp.RanOn(pkt.Entity, proc)
+		}
 	}
 	r.service.Add(protoExec)
 	if r.rec != nil {
@@ -614,6 +806,13 @@ func (r *runner) goIdle(proc int) {
 
 func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) {
 	r.settleCompletion(pkt, proc, protoExec)
+	if r.procs[proc].down {
+		// The drain is complete: park, and let live processors pick up
+		// anything that queued behind this one.
+		r.goIdle(proc)
+		r.kickIdle()
+		return
+	}
 	if next, ok := r.disp.Dispatch(proc); ok {
 		r.beginService(next, proc, false, true, compLocking)
 		return
@@ -626,6 +825,11 @@ func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) 
 // spilled packet.
 func (r *runner) completeOverflow(pkt sched.Packet, proc int, protoExec float64) {
 	r.settleCompletion(pkt, proc, protoExec)
+	if r.procs[proc].down {
+		r.goIdle(proc)
+		r.kickIdle()
+		return
+	}
 	r.dispatchHybrid(proc)
 }
 
@@ -650,6 +854,19 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 	k := pkt.Entity
 	st := &r.stacks[k]
 	st.q.pop()
+	if r.procs[proc].down {
+		// The drain is complete: the stack rejoins the ready queue (its
+		// new wire after re-homing) if it still has work, and the
+		// processor parks.
+		st.running = false
+		if st.q.len() > 0 {
+			st.queued = true
+			r.sdisp.EnqueueStack(k)
+		}
+		r.goIdle(proc)
+		r.kickIdle()
+		return
+	}
 	if st.q.len() > 0 {
 		// The stack still has work, but packet-level fairness applies:
 		// if another ready stack is waiting for this processor, yield
@@ -750,6 +967,23 @@ func (r *runner) results() Results {
 	}
 	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
 	res.DelayOverflow = r.delayHist.OverflowFraction()
+	res.Dropped = r.dropped
+	if r.arrivals > 0 {
+		res.DropFraction = float64(r.dropped) / float64(r.arrivals)
+	}
+	if now > 0 {
+		res.GoodputPPS = float64(r.service.N()) / now.Seconds()
+	}
+	if !r.p.Faults.Empty() {
+		res.PerProcDownTime = make([]float64, len(r.procs))
+		for i := range r.procs {
+			dt := r.procs[i].downTime
+			if r.procs[i].down {
+				dt += float64(now - r.procs[i].downSince)
+			}
+			res.PerProcDownTime[i] = dt
+		}
+	}
 	totalEventsFired.Add(r.sim.Fired())
 	if r.p.Paradigm == Locking {
 		res.AffinityHits, res.Placements = r.disp.AffinityStats()

@@ -15,6 +15,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/des"
+	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/traffic"
@@ -130,6 +131,21 @@ type Params struct {
 	// BatchSize for the batch-means confidence interval; 0 derives one
 	// from MeasuredPackets.
 	BatchSize uint64
+
+	// Faults, when non-nil and non-empty, is the deterministic
+	// fault-injection plan: timed processor failures/recoveries,
+	// transient slow-downs, arrival bursts and packet-loss probability
+	// changes (see internal/faults). A nil or empty plan is the healthy
+	// system and leaves every published RNG draw and result untouched.
+	Faults *faults.Plan
+
+	// MaxQueueDepth, when positive, bounds each waiting queue (the
+	// central or per-pool queue under Locking, each stack queue and the
+	// shared overflow queue under IPS/Hybrid): an arrival that would
+	// push a queue past the bound is dropped instead of enqueued,
+	// turning unbounded saturation into measured packet loss. 0 keeps
+	// the historical unbounded queues.
+	MaxQueueDepth int
 
 	// Recorder, when non-nil, receives the run's structured event
 	// stream: packet lifecycle (arrival, enqueue, dispatch, exec
@@ -259,6 +275,12 @@ func (p Params) Validate() error {
 	if p.SamplePeriod < 0 {
 		return fmt.Errorf("sim: negative gauge sample period %v", p.SamplePeriod)
 	}
+	if p.MaxQueueDepth < 0 {
+		return fmt.Errorf("sim: negative max queue depth %d", p.MaxQueueDepth)
+	}
+	if err := p.Faults.Validate(p.Processors, p.Streams); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	return nil
 }
 
@@ -296,6 +318,25 @@ type Results struct {
 	ColdStarts   uint64  // completions on a processor new to the entity
 	Migrations   uint64  // completions on a different processor than last time
 	Spills       uint64  // Hybrid packets diverted to the shared overflow path
+
+	// Dropped counts packets that left the system unserved — rejected
+	// by a full bounded queue (MaxQueueDepth) or removed by injected
+	// packet loss; DropFraction is Dropped / Arrivals. Packet
+	// conservation becomes Arrivals = CompletedTotal + InFlightAtEnd +
+	// QueueAtEnd + Dropped.
+	Dropped      uint64
+	DropFraction float64
+
+	// GoodputPPS is the rate of packets actually delivered (all
+	// completions over the whole run divided by simulated time) — under
+	// faults and drops, the throughput the system sustained rather than
+	// the load it was offered.
+	GoodputPPS float64
+
+	// PerProcDownTime is each processor's injected-failure downtime
+	// (µs), open down intervals counted to the end of the run; nil when
+	// the run had no fault plan.
+	PerProcDownTime []float64
 
 	// AffinityHits counts scheduling decisions that landed work on the
 	// processor holding the entity's warm state, out of Placements
