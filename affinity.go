@@ -37,13 +37,16 @@
 package affinity
 
 import (
+	"fmt"
 	"io"
+	"strings"
 
 	"affinity/internal/cachesim"
 	"affinity/internal/calib"
 	"affinity/internal/core"
 	"affinity/internal/exp"
 	"affinity/internal/faults"
+	"affinity/internal/live"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/sim"
@@ -166,6 +169,58 @@ func ParseFaultPlan(s string) (*FaultPlan, error) { return faults.Parse(s) }
 
 // Run executes one simulation and returns its metrics.
 func Run(p Params) Results { return sim.Run(p) }
+
+// RunLive executes one run on the live goroutine backend: the same
+// dispatch policies and cost model as the DES, but with one worker
+// goroutine per simulated processor contending on real channels and
+// locks under a virtual clock. Results are statistically — not bit —
+// reproducible; see internal/live and DESIGN.md §10.
+func RunLive(p Params) Results { return live.Run(p) }
+
+// Backend selects an execution engine for RunBackend.
+type Backend int
+
+const (
+	// BackendDES is the sequential discrete-event simulator
+	// (deterministic: same Params+Seed, same Results).
+	BackendDES Backend = iota
+	// BackendLive is the concurrent goroutine backend (statistically
+	// reproducible only).
+	BackendLive
+)
+
+// String returns the backend's flag spelling ("des" or "live").
+func (b Backend) String() string {
+	switch b {
+	case BackendDES:
+		return "des"
+	case BackendLive:
+		return "live"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a backend name as spelled on the affinitysim
+// -backend flag: "des" or "live".
+func ParseBackend(s string) (Backend, error) {
+	switch strings.ToLower(s) {
+	case "des":
+		return BackendDES, nil
+	case "live":
+		return BackendLive, nil
+	default:
+		return 0, fmt.Errorf("unknown backend %q (want \"des\" or \"live\")", s)
+	}
+}
+
+// RunBackend executes one run on the selected backend.
+func RunBackend(b Backend, p Params) Results {
+	if b == BackendLive {
+		return live.Run(p)
+	}
+	return sim.Run(p)
+}
 
 // RunMany executes independent simulations concurrently (workers ≤ 0
 // selects GOMAXPROCS) and returns results in input order; determinism is

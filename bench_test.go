@@ -67,6 +67,7 @@ func BenchmarkFigE25DataTouchRate(b *testing.B)       { benchExperiment(b, "E25"
 func BenchmarkFigE26FaultResilience(b *testing.B)     { benchExperiment(b, "E26") }
 func BenchmarkFigE27BoundedQueues(b *testing.B)       { benchExperiment(b, "E27") }
 func BenchmarkFigE28RecoveryTransient(b *testing.B)   { benchExperiment(b, "E28") }
+func BenchmarkFigE29LiveCrossCheck(b *testing.B)      { benchExperiment(b, "E29") }
 
 // --- micro-benchmarks ---
 

@@ -37,6 +37,7 @@ var ipsPolicies = map[string]affinity.Policy{
 func main() {
 	var (
 		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
+		backend   = flag.String("backend", "des", "execution backend: des (deterministic discrete-event simulation) | live (real goroutines, statistically reproducible)")
 		paradigm  = flag.String("paradigm", "locking", "parallelization: locking | ips | hybrid")
 		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired; ips: wired|mru|random")
 		streams   = flag.Int("streams", 8, "number of packet streams")
@@ -58,6 +59,10 @@ func main() {
 	)
 	flag.Parse()
 
+	be, err := affinity.ParseBackend(*backend)
+	if err != nil {
+		fail("%v", err)
+	}
 	p := affinity.Params{
 		Streams:         *streams,
 		Stacks:          *stacks,
@@ -113,6 +118,12 @@ func main() {
 		bg = affinity.IdleBackground()
 	}
 	p.Background = &bg
+	// Reject invalid configurations (e.g. a fault plan naming a
+	// processor that doesn't exist) with a clean error instead of a
+	// panic from inside the run.
+	if err := p.WithDefaults().Validate(); err != nil {
+		fail("%v", err)
+	}
 
 	// Observability sinks. cleanup runs explicitly before every exit
 	// path (the saturation path uses os.Exit, which skips defers).
@@ -171,7 +182,7 @@ func main() {
 		})
 	}
 
-	res := affinity.Run(p)
+	res := affinity.RunBackend(be, p)
 	for _, fn := range cleanup {
 		fn()
 	}

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"affinity/internal/sim"
+)
+
+// End-to-end CLI tests: build the real binary once, run it with the
+// flag combinations the README documents, and golden-check the output.
+// DES runs are deterministic given a seed, so text and JSON output are
+// byte-stable; the live backend's output is checked structurally
+// (parseable JSON, conserved ledger) instead.
+
+var updateGolden = flag.Bool("update", false, "rewrite the CLI golden files")
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds the affinitysim executable once per test run.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "affinitysim-e2e")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "affinitysim")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			binPath = string(out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building affinitysim: %v\n%s", buildErr, binPath)
+	}
+	return binPath
+}
+
+// run executes the binary and returns stdout, stderr and the exit code.
+func run(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		code = exitErr.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// checkGolden compares got against the named golden file (regenerate
+// with -update).
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n got:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestCLITextOutput(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-paradigm", "locking", "-policy", "mru",
+		"-rate", "1000", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "cli_text.golden", stdout)
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	stdout, stderr, code := run(t, "-json",
+		"-paradigm", "ips", "-policy", "wired", "-streams", "8", "-stacks", "4",
+		"-rate", "1000", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res sim.Results
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	checkGolden(t, "cli_json.golden", stdout)
+}
+
+func TestCLIFaultsAndQueueBound(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-paradigm", "locking", "-policy", "mru",
+		"-faults", "down:0@250ms,up:0@400ms,loss:0.05@220ms",
+		"-maxqueue", "16",
+		"-rate", "1000", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "dropped") {
+		t.Error("output lacks a dropped-packets line despite injected loss")
+	}
+	if !strings.Contains(stdout, "down") {
+		t.Error("output lacks a per-processor down-time line despite an outage")
+	}
+	checkGolden(t, "cli_faults.golden", stdout)
+}
+
+// TestCLILiveBackend runs the goroutine backend through the CLI. The
+// numbers are not byte-stable, so the check is structural: valid JSON
+// reporting the right configuration, with a conserved packet ledger.
+func TestCLILiveBackend(t *testing.T) {
+	stdout, stderr, code := run(t, "-backend", "live", "-json",
+		"-paradigm", "locking", "-policy", "mru",
+		"-rate", "1000", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var res sim.Results
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("live output is not valid JSON: %v", err)
+	}
+	if res.Paradigm != "Locking" || res.Policy != "MRU" {
+		t.Errorf("live run reported %s/%s, want Locking/MRU", res.Paradigm, res.Policy)
+	}
+	if res.CompletedTotal == 0 {
+		t.Error("live run completed no packets")
+	}
+	if err := sim.CheckInvariants(res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCLIBadFlagsExitOne(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "nonsense"},
+		{"-paradigm", "nonsense"},
+		{"-backend", "nonsense"},
+		{"-faults", "down:99@1s"},   // processor out of range
+		{"-paradigm", "ips", "-policy", "pools"},
+	}
+	for _, args := range cases {
+		_, stderr, code := run(t, args...)
+		if code != 1 {
+			t.Errorf("%v: exit %d, want 1", args, code)
+		}
+		if !strings.HasPrefix(stderr, "affinitysim:") {
+			t.Errorf("%v: stderr %q lacks the affinitysim: prefix", args, stderr)
+		}
+	}
+}
+
+// TestCLISaturationExitTwo pins the documented exit-code contract:
+// saturated runs print results but exit 2, on both backends.
+func TestCLISaturationExitTwo(t *testing.T) {
+	for _, backend := range []string{"des", "live"} {
+		stdout, stderr, code := run(t, "-backend", backend,
+			"-paradigm", "locking", "-policy", "fcfs",
+			"-rate", "6000", "-packets", "2000", "-seed", "1")
+		if code != 2 {
+			t.Errorf("backend %s: exit %d under overload, want 2 (stderr: %s)",
+				backend, code, stderr)
+		}
+		if !strings.Contains(stdout, "SATURATED") {
+			t.Errorf("backend %s: output lacks the SATURATED banner", backend)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestExecConcurrentUse pins the documented contract that a compiled
+// Exec is immutable and safe for concurrent use — the live backend
+// evaluates it from every worker goroutine at once. Run under -race in
+// CI; each goroutine checks its answers against a sequential baseline
+// so cross-thread interference would surface as wrong values even
+// without the detector.
+func TestExecConcurrentUse(t *testing.T) {
+	exec := NewModel().Compile()
+	xs := []float64{0, 1, 100, 5_000, 250_000, math.Inf(1)}
+	type pair struct{ t, f1 float64 }
+	want := make([]pair, len(xs))
+	for i, x := range xs {
+		want[i].t, want[i].f1 = exec.ExecTimeF1(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 5000; iter++ {
+				i := iter % len(xs)
+				gotT, gotF1 := exec.ExecTimeF1(xs[i])
+				if gotT != want[i].t || gotF1 != want[i].f1 {
+					t.Errorf("ExecTimeF1(%v) = (%v, %v) concurrently, want (%v, %v)",
+						xs[i], gotT, gotF1, want[i].t, want[i].f1)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

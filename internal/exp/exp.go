@@ -175,6 +175,7 @@ func All() []Experiment {
 		{"E26", "Policy resilience under a single-processor failure", FigE26},
 		{"E27", "Bounded queues under overload: drop/goodput vs queue bound", FigE27},
 		{"E28", "Recovery-transient length after processor failback", FigE28},
+		{"E29", "Live-backend cross-validation: DES vs goroutine policy orderings", FigE29},
 	}
 }
 

@@ -24,7 +24,9 @@ const (
 	e26Up   = 400 * des.Millisecond
 )
 
-func e26Plan() *faults.Plan {
+// E26Plan returns the outage plan (exported for the live backend's
+// differential harness, which replays it on both backends).
+func E26Plan() *faults.Plan {
 	return (&faults.Plan{}).Down(e26Down, 0).Up(e26Up, 0)
 }
 
@@ -65,7 +67,7 @@ func FigE26(c Config) *Table {
 		}
 		name := fmt.Sprintf("%v/%v", pc.paradigm, pc.policy)
 		healthy := g.Add(name+" healthy", base)
-		base.Faults = e26Plan()
+		base.Faults = E26Plan()
 		faulted := g.Add(name+" faulted", base)
 		rows = append(rows, row{name, healthy, faulted})
 	}
@@ -160,7 +162,7 @@ func FigE28(c Config) *Table {
 		p := sim.Params{
 			Paradigm: pc.paradigm, Policy: pc.policy, Streams: 8,
 			Arrival: traffic.Poisson{PacketsPerSec: 1000},
-			Faults:  e26Plan(),
+			Faults:  E26Plan(),
 			TraceN:  20000, // covers every service decision at both budgets
 		}
 		p.Seed = c.Seed

@@ -1,0 +1,196 @@
+package live
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"affinity/internal/des"
+)
+
+// startGroup registers n goroutines with the clock and runs each body,
+// waiting for all to unwind.
+func startGroup(c *clock, bodies ...func()) {
+	c.spawn(len(bodies))
+	var wg sync.WaitGroup
+	for _, body := range bodies {
+		wg.Add(1)
+		go func(body func()) {
+			defer wg.Done()
+			defer c.exit()
+			body()
+		}(body)
+	}
+	wg.Wait()
+}
+
+func TestClockReleasesSleepersInTimeOrder(t *testing.T) {
+	c := newClock(des.Second)
+	var mu sync.Mutex
+	var order []des.Time
+	sleepAndLog := func(d des.Time) func() {
+		return func() {
+			if !c.sleep(d) {
+				t.Error("sleep stopped early")
+				return
+			}
+			mu.Lock()
+			order = append(order, c.Now())
+			mu.Unlock()
+		}
+	}
+	startGroup(c, sleepAndLog(30), sleepAndLog(10), sleepAndLog(20))
+	want := []des.Time{10, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("wake order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClockReleasesSameInstantTogether(t *testing.T) {
+	// All sleepers due at the same instant must be runnable
+	// concurrently: each waits for every sibling at a barrier before
+	// returning, which can only work if no sibling is still parked in
+	// the clock when the first one runs.
+	const n = 8
+	c := newClock(des.Second)
+	var barrier sync.WaitGroup
+	barrier.Add(n)
+	bodies := make([]func(), n)
+	for i := range bodies {
+		bodies[i] = func() {
+			if !c.sleep(500) {
+				t.Error("sleep stopped early")
+				barrier.Done()
+				return
+			}
+			if got := c.Now(); got != 500 {
+				t.Errorf("Now() = %v at wake, want 500", got)
+			}
+			barrier.Done()
+			barrier.Wait()
+		}
+	}
+	startGroup(c, bodies...)
+	if got := c.Fired(); got != n {
+		t.Errorf("Fired() = %d, want %d", got, n)
+	}
+}
+
+func TestClockHorizonStopsRun(t *testing.T) {
+	c := newClock(100)
+	startGroup(c, func() {
+		if c.sleep(101) {
+			t.Error("sleep beyond horizon returned true, want stop")
+		}
+	})
+	if got := c.Now(); got != 100 {
+		t.Errorf("Now() = %v after horizon stop, want 100", got)
+	}
+}
+
+func TestClockQuiescenceStopsAtHorizon(t *testing.T) {
+	// When the last goroutine exits with no timers pending, nothing can
+	// ever happen again: DES RunUntil semantics put the clock at the
+	// horizon.
+	c := newClock(1000)
+	startGroup(c, func() {
+		if !c.sleep(10) {
+			t.Error("sleep stopped early")
+		}
+	})
+	if got := c.Now(); got != 1000 {
+		t.Errorf("Now() = %v after quiescence, want horizon 1000", got)
+	}
+}
+
+func TestClockStopUnblocksEveryone(t *testing.T) {
+	c := newClock(des.Second)
+	ch := make(chan int, 1)
+	var stopped atomic.Int32
+	startGroup(c,
+		func() {
+			if _, ok := parkRecv(c, ch); !ok {
+				stopped.Add(1)
+			}
+		},
+		func() {
+			if !c.sleep(5) {
+				t.Error("sleep stopped before stop()")
+				return
+			}
+			c.stop()
+			stopped.Add(1)
+		},
+	)
+	if got := stopped.Load(); got != 2 {
+		t.Errorf("%d goroutines saw the stop, want 2", got)
+	}
+}
+
+func TestParkRecvConsumesBufferedValue(t *testing.T) {
+	// The try-receive path: a value already buffered (self-hand-off,
+	// like a worker that queues its own next task) must consume the
+	// sender's wake credit without the receiver ever blocking —
+	// afterwards the balance is clean enough for timers to still fire.
+	c := newClock(des.Second)
+	ch := make(chan int, 1)
+	startGroup(c, func() {
+		c.wake()
+		ch <- 42
+		v, ok := parkRecv(c, ch)
+		if !ok || v != 42 {
+			t.Errorf("parkRecv = %v, %v, want 42, true", v, ok)
+		}
+		if !c.sleep(10) {
+			t.Error("timer starved after buffered hand-off")
+		}
+	})
+}
+
+func TestParkRecvBlockedHandoff(t *testing.T) {
+	// The blocked-receiver path: the receiver parks first, the sender's
+	// wake+send revives it at the sender's current instant.
+	c := newClock(des.Second)
+	ch := make(chan int)
+	startGroup(c,
+		func() {
+			v, ok := parkRecv(c, ch)
+			if !ok || v != 7 {
+				t.Errorf("parkRecv = %v, %v, want 7, true", v, ok)
+			}
+			if got := c.Now(); got != 5 {
+				t.Errorf("Now() = %v at hand-off, want 5", got)
+			}
+		},
+		func() {
+			if !c.sleep(5) {
+				t.Error("sleep stopped early")
+				return
+			}
+			c.wake()
+			ch <- 7
+		},
+	)
+}
+
+func TestClockSleepUntilClampsToNow(t *testing.T) {
+	c := newClock(des.Second)
+	startGroup(c, func() {
+		if !c.sleep(50) {
+			t.Error("sleep stopped early")
+			return
+		}
+		if !c.sleepUntil(10) { // already past: must fire at now
+			t.Error("sleepUntil stopped early")
+			return
+		}
+		if got := c.Now(); got != 50 {
+			t.Errorf("Now() = %v after past-due sleepUntil, want 50", got)
+		}
+	})
+}

@@ -152,8 +152,9 @@ type Event struct {
 }
 
 // Recorder receives the event stream. Implementations need not be
-// goroutine-safe: the simulator is single-threaded and each run owns its
-// recorder (attach distinct recorders to concurrent runs).
+// goroutine-safe: the DES backend is single-threaded, the live backend
+// serializes every emission under its dispatch lock, and each run owns
+// its recorder (attach distinct recorders to concurrent runs).
 type Recorder interface {
 	Record(Event)
 }

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Invariant checkers shared between the DES's own property tests and
+// the live backend's differential harness (internal/live): both
+// backends produce the same Results shape, and these predicates are the
+// part of the contract that must hold exactly — on any backend, any
+// paradigm, any fault plan. They return errors instead of taking a
+// *testing.T so fuzz targets and non-test callers can use them.
+
+// CheckConservation verifies the 4-term packet-conservation ledger: at
+// the instant the run stops, every admitted arrival is either fully
+// served, in service on some processor, still queued, or was explicitly
+// dropped. No packet is created or lost.
+func CheckConservation(res Results) error {
+	accounted := res.CompletedTotal + uint64(res.InFlightAtEnd) +
+		uint64(res.QueueAtEnd) + res.Dropped
+	if res.Arrivals != accounted {
+		return fmt.Errorf("%s/%s rate=%v: arrivals %d != completed %d + in-flight %d + queued %d + dropped %d",
+			res.Paradigm, res.Policy, res.OfferedRate,
+			res.Arrivals, res.CompletedTotal, res.InFlightAtEnd, res.QueueAtEnd, res.Dropped)
+	}
+	if res.CompletedTotal < res.Completed {
+		return fmt.Errorf("%s/%s: measured completions %d exceed total %d",
+			res.Paradigm, res.Policy, res.Completed, res.CompletedTotal)
+	}
+	return nil
+}
+
+// CheckAffinityAccounting verifies the affinity bookkeeping: hits never
+// exceed placements, the warm fraction is a fraction, and cold starts
+// cannot outnumber the packets that actually ran.
+func CheckAffinityAccounting(res Results) error {
+	if res.AffinityHits > res.Placements {
+		return fmt.Errorf("%s/%s: affinity hits %d exceed placements %d",
+			res.Paradigm, res.Policy, res.AffinityHits, res.Placements)
+	}
+	if res.WarmFraction < 0 || res.WarmFraction > 1 {
+		return fmt.Errorf("%s/%s: warm fraction %v outside [0,1]",
+			res.Paradigm, res.Policy, res.WarmFraction)
+	}
+	if res.ColdStarts > res.CompletedTotal+uint64(res.InFlightAtEnd) {
+		return fmt.Errorf("%s/%s: cold starts %d exceed packets begun %d",
+			res.Paradigm, res.Policy, res.ColdStarts, res.CompletedTotal+uint64(res.InFlightAtEnd))
+	}
+	return nil
+}
+
+// CheckSanity verifies cross-field consistency every run must satisfy
+// regardless of backend: finite non-negative aggregates, fractions in
+// range, and a drop fraction that matches its numerator.
+func CheckSanity(res Results) error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"MeanDelay", res.MeanDelay},
+		{"MeanService", res.MeanService},
+		{"MeanQueueing", res.MeanQueueing},
+		{"MeanLockWait", res.MeanLockWait},
+		{"P95Delay", res.P95Delay},
+		{"MaxDelay", res.MaxDelay},
+	} {
+		if f.v < 0 || math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("%s/%s: %s = %v, want finite and non-negative",
+				res.Paradigm, res.Policy, f.name, f.v)
+		}
+	}
+	if res.Utilization < 0 || res.Utilization > 1+1e-9 {
+		return fmt.Errorf("%s/%s: utilization %v outside [0,1]",
+			res.Paradigm, res.Policy, res.Utilization)
+	}
+	if res.DropFraction < 0 || res.DropFraction > 1 {
+		return fmt.Errorf("%s/%s: drop fraction %v outside [0,1]",
+			res.Paradigm, res.Policy, res.DropFraction)
+	}
+	if res.Arrivals > 0 {
+		want := float64(res.Dropped) / float64(res.Arrivals)
+		if math.Abs(res.DropFraction-want) > 1e-12 {
+			return fmt.Errorf("%s/%s: drop fraction %v inconsistent with %d/%d",
+				res.Paradigm, res.Policy, res.DropFraction, res.Dropped, res.Arrivals)
+		}
+	}
+	if res.MeanDelay > 0 && res.MaxDelay+1e-9 < res.MeanDelay {
+		return fmt.Errorf("%s/%s: max delay %v below mean %v",
+			res.Paradigm, res.Policy, res.MaxDelay, res.MeanDelay)
+	}
+	if res.SimTime < 0 {
+		return fmt.Errorf("%s/%s: negative sim time %v", res.Paradigm, res.Policy, res.SimTime)
+	}
+	return nil
+}
+
+// CheckInvariants runs every checker and returns the first violation.
+func CheckInvariants(res Results) error {
+	if err := CheckConservation(res); err != nil {
+		return err
+	}
+	if err := CheckAffinityAccounting(res); err != nil {
+		return err
+	}
+	return CheckSanity(res)
+}

@@ -48,20 +48,13 @@ func conservationCases() []Params {
 // TestPacketConservationResults checks, on the public Results surface,
 // that no packet is created or lost: every arrival is either completed,
 // in service, still queued, or explicitly dropped when the run stops.
-// (sim_test.go holds a white-box twin inspecting runner state directly.)
+// The predicates live in invariants.go and are shared with the live
+// backend's differential harness. (sim_test.go holds a white-box twin
+// inspecting runner state directly.)
 func TestPacketConservationResults(t *testing.T) {
 	for _, p := range conservationCases() {
-		res := Run(p)
-		accounted := res.CompletedTotal + uint64(res.InFlightAtEnd) +
-			uint64(res.QueueAtEnd) + res.Dropped
-		if res.Arrivals != accounted {
-			t.Errorf("%s/%s rate=%v: arrivals %d != completed %d + in-flight %d + queued %d + dropped %d",
-				res.Paradigm, res.Policy, res.OfferedRate,
-				res.Arrivals, res.CompletedTotal, res.InFlightAtEnd, res.QueueAtEnd, res.Dropped)
-		}
-		if res.CompletedTotal < res.Completed {
-			t.Errorf("%s/%s: measured completions %d exceed total %d",
-				res.Paradigm, res.Policy, res.Completed, res.CompletedTotal)
+		if err := CheckInvariants(Run(p)); err != nil {
+			t.Error(err)
 		}
 	}
 }

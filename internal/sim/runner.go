@@ -1010,7 +1010,7 @@ func (r *runner) results() Results {
 	for i := range r.perStream {
 		res.PerStreamDelay[i] = r.perStream[i].Mean()
 	}
-	res.DelayFairness = jainIndex(res.PerStreamDelay)
+	res.DelayFairness = JainIndex(res.PerStreamDelay)
 	if r.tsink != nil {
 		res.Trace = r.tsink.entries
 	}
@@ -1021,11 +1021,11 @@ func (r *runner) results() Results {
 	return res
 }
 
-// jainIndex returns Jain's fairness index over per-stream mean delays:
+// JainIndex returns Jain's fairness index over per-stream mean delays:
 // (Σx)² / (n·Σx²) — 1 when all streams see equal delay, → 1/n when one
 // stream absorbs everything. Streams with no measured packets are
 // excluded.
-func jainIndex(xs []float64) float64 {
+func JainIndex(xs []float64) float64 {
 	var sum, sumSq float64
 	n := 0
 	for _, x := range xs {

@@ -95,6 +95,28 @@ func main() {
 	}
 
 	failed := false
+	// A benchmark present in the baseline but absent from the head run
+	// means the comparison silently shrank — a renamed or deleted
+	// benchmark would otherwise pass the gate vacuously. Same for a head
+	// run that produced no benchmarks at all (build failure upstream,
+	// wrong -bench pattern): nothing compared is not a pass.
+	if len(head) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: FAIL — head run contains no benchmark results")
+		os.Exit(1)
+	}
+	var missing []string
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "benchcmp: baseline benchmark %s missing from head run\n", name)
+		}
+		failed = true
+	}
 	fmt.Printf("%-42s %14s %14s %8s   %s\n", "benchmark", "base", "head", "delta", "allocs base→head")
 	for _, name := range order {
 		h := head[name]
@@ -123,7 +145,7 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintf(os.Stderr,
-			"benchcmp: FAIL — time/op regressed beyond %.0f%% or allocs/op increased\n", *maxTime)
+			"benchcmp: FAIL — time/op regressed beyond %.0f%%, allocs/op increased, or a baseline benchmark is missing\n", *maxTime)
 		os.Exit(1)
 	}
 	fmt.Println("benchcmp: OK")

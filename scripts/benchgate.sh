@@ -6,7 +6,10 @@
 # The gate FAILS when median time/op regresses by more than
 # $BENCHGATE_MAX_TIME_REGRESSION percent (default 10) or when allocs/op
 # increases at all — allocation counts are deterministic, so any growth
-# is a real regression, never noise.
+# is a real regression, never noise. It also fails, rather than passing
+# vacuously, when a benchmark present at the base ref is missing from
+# the head run (renamed/deleted benchmarks shrink the comparison) or
+# when the head run produced no benchmarks at all.
 #
 # Usage:
 #   scripts/benchgate.sh <base-ref>          # e.g. origin/main or a SHA
