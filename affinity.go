@@ -296,6 +296,96 @@ func NewMetricsRecorder() *MetricsRecorder { return obs.NewMetrics() }
 // skipped; returns nil when none remain).
 func MultiRecorder(recs ...Recorder) Recorder { return obs.Multi(recs...) }
 
+// Decision-ledger types (internal/obs): set Params.DecisionRecorder to
+// receive every scheduling decision — the chosen processor plus the
+// candidate set considered, each with its warm/cold prediction and
+// predicted execution cost. Like Recorder, the ledger observes only.
+type (
+	// DecisionRecorder receives scheduling decisions.
+	DecisionRecorder = obs.DecisionRecorder
+	// Decision is one recorded scheduling decision. Its candidate
+	// slice aliases emitter scratch and is valid only during
+	// RecordDecision; sinks that retain it must copy.
+	Decision = obs.Decision
+	// DecisionCandidate is one processor weighed in a decision.
+	DecisionCandidate = obs.Candidate
+	// DecisionPoint names where in the dispatch path a decision fell
+	// (placement, dispatch, or Hybrid spill).
+	DecisionPoint = obs.DecisionPoint
+	// FlightRecorder keeps the last N decisions in a fixed ring.
+	FlightRecorder = obs.FlightRecorder
+	// DecisionCSVRecorder streams decisions as CSV rows.
+	DecisionCSVRecorder = obs.DecisionCSV
+	// DecisionJSONLRecorder streams decisions as JSON lines.
+	DecisionJSONLRecorder = obs.DecisionJSONL
+	// TimeSeriesRecorder aggregates the event stream into fixed-Δt
+	// interval samples (utilization, queue depth, warm fraction,
+	// drops, reordering) written as CSV.
+	TimeSeriesRecorder = obs.TimeSeries
+)
+
+// NewFlightRecorder returns an in-memory decision ring holding the last
+// capacity decisions with up to maxCands candidates each (≤ 0 selects
+// defaults). Recording is allocation-free.
+func NewFlightRecorder(capacity, maxCands int) *FlightRecorder {
+	return obs.NewFlightRecorder(capacity, maxCands)
+}
+
+// NewDecisionCSVRecorder returns a decision sink streaming CSV rows to
+// w; call Close after the run to flush.
+func NewDecisionCSVRecorder(w io.Writer) *DecisionCSVRecorder { return obs.NewDecisionCSV(w) }
+
+// NewDecisionJSONLRecorder returns a decision sink streaming one JSON
+// object per line to w; call Close after the run to flush.
+func NewDecisionJSONLRecorder(w io.Writer) *DecisionJSONLRecorder { return obs.NewDecisionJSONL(w) }
+
+// NewTimeSeriesRecorder returns a recorder aggregating events into
+// fixed-interval CSV samples on w (intervalUs ≤ 0 selects 1000 µs);
+// call Close after the run to flush the final partial interval.
+func NewTimeSeriesRecorder(w io.Writer, intervalUs float64, procs int) *TimeSeriesRecorder {
+	return obs.NewTimeSeries(w, intervalUs, procs)
+}
+
+// MultiDecisionRecorder fans decisions out to several recorders (nils
+// are skipped; returns nil when none remain).
+func MultiDecisionRecorder(recs ...DecisionRecorder) DecisionRecorder {
+	return obs.DecisionMulti(recs...)
+}
+
+// WritePrometheus renders a metrics snapshot in Prometheus text
+// exposition format; WriteMetricsJSON renders it as indented JSON.
+func WritePrometheus(w io.Writer, s ObsSnapshot) error { return obs.WritePrometheus(w, s) }
+
+// WriteMetricsJSON writes a metrics snapshot as indented JSON.
+func WriteMetricsJSON(w io.Writer, s ObsSnapshot) error { return obs.WriteMetricsJSON(w, s) }
+
+// Ledger analysis types: offline reports over recorded event and
+// decision streams (see examples/schedtrace).
+type (
+	// LedgerReport summarizes a decision ledger: counts by decision
+	// point, regret statistics and histogram, and per-stream movement.
+	LedgerReport = obs.LedgerReport
+	// StreamDecisions is one stream's row in a LedgerReport.
+	StreamDecisions = obs.StreamDecisions
+	// StreamReorder reports one stream's out-of-order completions.
+	StreamReorder = obs.StreamReorder
+)
+
+// ReadDecisionCSV parses a decision ledger written by a
+// DecisionCSVRecorder back into decisions.
+func ReadDecisionCSV(r io.Reader) ([]Decision, error) { return obs.ReadDecisionCSV(r) }
+
+// ReadEventsCSV parses an event stream written by a CSVRecorder back
+// into events.
+func ReadEventsCSV(r io.Reader) ([]ObsEvent, error) { return obs.ReadEventsCSV(r) }
+
+// AnalyzeLedger builds the regret report over a decision ledger.
+func AnalyzeLedger(ds []Decision) LedgerReport { return obs.AnalyzeLedger(ds) }
+
+// ReorderingByStream reconstructs each stream's arrival order from an
+// event stream and reports its out-of-order completions.
+func ReorderingByStream(events []ObsEvent) []StreamReorder { return obs.ReorderingByStream(events) }
+
 // Experiment types: the per-table/per-figure reproduction suite.
 type (
 	// Experiment reproduces one paper table or figure.

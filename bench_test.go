@@ -173,3 +173,32 @@ func BenchmarkSimulationPerPacket(b *testing.B) {
 		b.Fatal("no packets completed")
 	}
 }
+
+func BenchmarkDecisionLedgerPerPacket(b *testing.B) {
+	// Same simulation with the decision ledger attached to a flight
+	// recorder: the delta against BenchmarkSimulationPerPacket is the
+	// whole cost of recording every dispatch decision, and allocs/op
+	// must stay at the amortized-startup level — decision emission
+	// itself is allocation-free (pinned by the sim alloc tests, gated
+	// here against drift).
+	n := b.N
+	if n < 100 {
+		n = 100
+	}
+	p := affinity.Params{
+		Paradigm:         affinity.Locking,
+		Policy:           affinity.MRU,
+		Streams:          8,
+		Arrival:          affinity.Poisson{PacketsPerSec: 2000},
+		Seed:             1,
+		MeasuredPackets:  n,
+		DecisionRecorder: affinity.NewFlightRecorder(0, 0),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	res := affinity.Run(p)
+	b.StopTimer()
+	if res.DecisionsRecorded == 0 {
+		b.Fatal("no decisions recorded")
+	}
+}

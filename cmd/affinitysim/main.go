@@ -55,6 +55,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the run (view at https://ui.perfetto.dev)")
 		csvOut    = flag.String("tracecsv", "", "write the run's event stream as a CSV time series")
 		obsOut    = flag.Bool("obs", false, "print the observability metrics snapshot after the run")
+		decOut    = flag.String("decisions", "", "write the scheduling decision ledger as CSV (.jsonl extension selects JSON lines)")
+		tsOut     = flag.String("timeseries", "", "write fixed-interval time-series samples as CSV")
+		tsIv      = flag.Float64("tsinterval", 0, "time-series interval in µs (0 = 1000)")
+		metOut    = flag.String("metrics", "", "write the metrics snapshot after the run (.json extension selects JSON, otherwise Prometheus text format)")
 		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run")
 	)
 	flag.Parse()
@@ -121,7 +125,8 @@ func main() {
 	// Reject invalid configurations (e.g. a fault plan naming a
 	// processor that doesn't exist) with a clean error instead of a
 	// panic from inside the run.
-	if err := p.WithDefaults().Validate(); err != nil {
+	defaulted := p.WithDefaults()
+	if err := defaulted.Validate(); err != nil {
 		fail("%v", err)
 	}
 
@@ -161,10 +166,50 @@ func main() {
 			}
 		})
 	}
-	if *obsOut {
+	if *tsOut != "" {
+		f, err := os.Create(*tsOut)
+		if err != nil {
+			fail("creating timeseries file: %v", err)
+		}
+		ts := affinity.NewTimeSeriesRecorder(f, *tsIv, defaulted.Processors)
+		recs = append(recs, ts)
+		cleanup = append(cleanup, func() {
+			if err := ts.Close(); err != nil {
+				fail("writing timeseries: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("closing timeseries file: %v", err)
+			}
+		})
+	}
+	if *obsOut || *metOut != "" {
 		recs = append(recs, affinity.NewMetricsRecorder())
 	}
 	p.Recorder = affinity.MultiRecorder(recs...)
+	if *decOut != "" {
+		f, err := os.Create(*decOut)
+		if err != nil {
+			fail("creating decisions file: %v", err)
+		}
+		var dr interface {
+			affinity.DecisionRecorder
+			Close() error
+		}
+		if strings.HasSuffix(*decOut, ".jsonl") {
+			dr = affinity.NewDecisionJSONLRecorder(f)
+		} else {
+			dr = affinity.NewDecisionCSVRecorder(f)
+		}
+		p.DecisionRecorder = dr
+		cleanup = append(cleanup, func() {
+			if err := dr.Close(); err != nil {
+				fail("writing decisions: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("closing decisions file: %v", err)
+			}
+		})
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -185,6 +230,26 @@ func main() {
 	res := affinity.RunBackend(be, p)
 	for _, fn := range cleanup {
 		fn()
+	}
+	if *metOut != "" {
+		if res.Obs == nil {
+			fail("metrics snapshot missing after the run")
+		}
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fail("creating metrics file: %v", err)
+		}
+		if strings.HasSuffix(*metOut, ".json") {
+			err = affinity.WriteMetricsJSON(f, *res.Obs)
+		} else {
+			err = affinity.WritePrometheus(f, *res.Obs)
+		}
+		if err != nil {
+			fail("writing metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing metrics file: %v", err)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -240,6 +305,8 @@ func printResults(r affinity.Results) {
 	}
 	fmt.Printf("warm fraction   %.2f\n", r.WarmFraction)
 	fmt.Printf("migrations      %d (cold starts %d)\n", r.Migrations, r.ColdStarts)
+	fmt.Printf("reordered       %d completions (max distance %d)\n",
+		r.ReorderedTotal, r.MaxReorderDistance)
 	if r.Dropped > 0 {
 		fmt.Printf("dropped         %d packets (%.2f%% of arrivals), goodput %.0f pkt/s\n",
 			r.Dropped, 100*r.DropFraction, r.GoodputPPS)

@@ -1,9 +1,18 @@
-// Schedtrace makes the affinity mechanism visible: it traces the first
-// scheduling decisions of an MRU run and prints, packet by packet, which
-// processor served which stream, how displaced the stream's footprint
-// was, and what the execution-time model charged. Cold starts and
-// migrations — the events affinity scheduling exists to avoid — are
-// flagged.
+// Schedtrace makes the affinity mechanism visible. With no arguments it
+// traces the first scheduling decisions of an MRU run and prints, packet
+// by packet, which processor served which stream, how displaced the
+// stream's footprint was, and what the execution-time model charged.
+// Cold starts and migrations — the events affinity scheduling exists to
+// avoid — are flagged.
+//
+// It also analyzes recorded runs offline:
+//
+//	affinitysim -decisions ledger.csv ... && schedtrace -decisions ledger.csv
+//	affinitysim -tracecsv events.csv ...  && schedtrace -events events.csv
+//
+// -decisions prints the decision-regret report (counts by decision
+// point, regret histogram, top migrating streams); -events prints
+// per-stream reordering derived from the event stream.
 package main
 
 import (
@@ -17,7 +26,20 @@ import (
 
 func main() {
 	traceOut := flag.String("trace", "", "also write a Chrome trace-event JSON of the whole run (open it at https://ui.perfetto.dev: one track per processor, one per stream)")
+	ledgerIn := flag.String("decisions", "", "analyze a decision ledger CSV (from affinitysim -decisions) instead of running the demo")
+	eventsIn := flag.String("events", "", "analyze an event-stream CSV (from affinitysim -tracecsv) instead of running the demo")
+	topN := flag.Int("top", 5, "streams to list in the top-migrating-streams report")
 	flag.Parse()
+
+	if *ledgerIn != "" || *eventsIn != "" {
+		if *ledgerIn != "" {
+			analyzeLedger(*ledgerIn, *topN)
+		}
+		if *eventsIn != "" {
+			analyzeEvents(*eventsIn)
+		}
+		return
+	}
 
 	p := affinity.Params{
 		Paradigm:        affinity.Locking,
@@ -70,4 +92,80 @@ func main() {
 		res.MeanDelay, res.WarmFraction, res.Migrations, res.ColdStarts)
 	fmt.Println("watch each stream settle onto \"its\" processor after the cold start,")
 	fmt.Println("then pay a reload whenever a collision forces a migration.")
+}
+
+// analyzeLedger prints the decision-regret report for a recorded ledger.
+func analyzeLedger(path string, topN int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	ds, err := affinity.ReadDecisionCSV(f)
+	if err != nil {
+		fail("reading ledger: %v", err)
+	}
+	rep := affinity.AnalyzeLedger(ds)
+
+	fmt.Printf("decision ledger: %d decisions", rep.Total)
+	for _, pt := range []string{"place", "dispatch", "spill"} {
+		if n := rep.ByPoint[pt]; n > 0 {
+			fmt.Printf(", %d %s", n, pt)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("regret: mean %.2f µs, max %.1f µs, %d/%d decisions took the cheapest candidate\n",
+		rep.MeanRegret(), rep.MaxRegret, rep.ZeroRegret, rep.Total)
+
+	fmt.Println("\nregret histogram (µs):")
+	for _, b := range rep.Hist {
+		label := "0 exactly"
+		if b.Hi > 0 {
+			label = fmt.Sprintf("(%g, %g]", b.Lo, b.Hi)
+		}
+		fmt.Printf("%-14s %d\n", label, b.Count)
+	}
+
+	fmt.Printf("\ntop migrating streams (of %d):\n", len(rep.Streams))
+	fmt.Printf("%-7s %-10s %-7s %s\n", "stream", "decisions", "moves", "regret (µs)")
+	for i, s := range rep.Streams {
+		if i >= topN {
+			break
+		}
+		fmt.Printf("%-7d %-10d %-7d %.1f\n", s.Stream, s.Decisions, s.Moves, s.Regret)
+	}
+}
+
+// analyzeEvents prints the per-stream reordering report for a recorded
+// event stream.
+func analyzeEvents(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	events, err := affinity.ReadEventsCSV(f)
+	if err != nil {
+		fail("reading events: %v", err)
+	}
+	rows := affinity.ReorderingByStream(events)
+
+	total, reordered := 0, 0
+	fmt.Println("reordering by stream (completions finishing after a later arrival of the same stream):")
+	fmt.Printf("%-7s %-12s %-10s %s\n", "stream", "completions", "reordered", "max distance")
+	for _, r := range rows {
+		fmt.Printf("%-7d %-12d %-10d %d\n", r.Stream, r.Completions, r.Reordered, r.MaxDistance)
+		total += r.Completions
+		reordered += r.Reordered
+	}
+	frac := 0.0
+	if total > 0 {
+		frac = float64(reordered) / float64(total)
+	}
+	fmt.Printf("total: %d/%d completions reordered (%.2f%%)\n", reordered, total, 100*frac)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "schedtrace: "+format+"\n", args...)
+	os.Exit(1)
 }

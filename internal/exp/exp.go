@@ -176,6 +176,7 @@ func All() []Experiment {
 		{"E27", "Bounded queues under overload: drop/goodput vs queue bound", FigE27},
 		{"E28", "Recovery-transient length after processor failback", FigE28},
 		{"E29", "Live-backend cross-validation: DES vs goroutine policy orderings", FigE29},
+		{"E30", "Per-stream packet reordering: migrating policies vs Wired-Streams", FigE30},
 	}
 }
 

@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE30ReorderingContrast pins E30's load-bearing claim: Wired-Streams
+// shows exactly zero reordering (structural — each stream is serialized
+// on one processor), while every migrating policy reorders a strictly
+// positive number of completions at this bursty operating point.
+func TestE30ReorderingContrast(t *testing.T) {
+	tb := FigE30(Config{Quick: true, Seed: 1})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E30 has %d rows, want 4", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		policy, reorderedCell, maxDistCell := row[0], row[2], row[4]
+		reordered, err := strconv.ParseUint(reorderedCell, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable reordered cell %q", policy, reorderedCell)
+		}
+		maxDist, err := strconv.ParseUint(maxDistCell, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable max-distance cell %q", policy, maxDistCell)
+		}
+		if policy == "WiredStreams" {
+			if reordered != 0 || maxDist != 0 {
+				t.Errorf("WiredStreams reordered %d packets (max distance %d), must be structurally zero",
+					reordered, maxDist)
+			}
+			continue
+		}
+		if reordered == 0 {
+			t.Errorf("%s: zero reordering — operating point too tame to contrast with Wired-Streams", policy)
+		}
+	}
+}

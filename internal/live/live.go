@@ -152,6 +152,24 @@ type live struct {
 	tsink   *traceSink
 	emitted uint64
 
+	// Decision-ledger state, mirroring the DES runner: drec is
+	// Params.DecisionRecorder (decide call sites guard with
+	// `r.drec != nil`), decisions counts what was published, candScratch
+	// is the reused candidate buffer and oneProc the reused
+	// single-candidate set. All mutate under mu.
+	drec        obs.DecisionRecorder
+	decisions   uint64
+	candScratch []obs.Candidate
+	oneProc     [1]int
+
+	// Per-stream reordering state (see the DES runner): counters always
+	// run, so Results carries the metric with or without recorders.
+	streamSeq       []uint64
+	streamMaxDone   []uint64
+	streamReordered []uint64
+	reordered       uint64
+	maxReorderDist  uint64
+
 	wg sync.WaitGroup
 }
 
@@ -204,6 +222,14 @@ func newLive(p sim.Params) *live {
 		delays:     stats.NewBatchMeans(p.BatchSize),
 		delayHist:  stats.NewHistogram(0, 100_000, 10_000),
 		perStream:  make([]stats.Accumulator, p.Streams),
+
+		drec:            p.DecisionRecorder,
+		streamSeq:       make([]uint64, p.Streams),
+		streamMaxDone:   make([]uint64, p.Streams),
+		streamReordered: make([]uint64, p.Streams),
+	}
+	if r.drec != nil {
+		r.candScratch = make([]obs.Candidate, 0, p.Processors)
 	}
 	for i := range r.lastProcOf {
 		r.lastProcOf[i] = -1
@@ -246,6 +272,56 @@ func newLive(p sim.Params) *live {
 func (r *live) emit(e obs.Event) {
 	r.emitted++
 	r.rec.Record(e)
+}
+
+// decide publishes one dispatch decision — the DES runner's decide under
+// the dispatch lock at the current virtual instant. Costs come from the
+// same pure model functions begin charges with, so recording reads state
+// without touching it. Callers hold r.mu and guard with r.drec != nil;
+// the emitted Decision aliases candScratch, valid only for the duration
+// of RecordDecision.
+func (r *live) decide(point obs.DecisionPoint, pkt sched.Packet, cands []int, chosen int) {
+	r.decisions++
+	cs := r.candScratch[:0]
+	best := math.Inf(1)
+	chosenCost := 0.0
+	for _, pc := range cands {
+		x := r.xRefs(pkt.Entity, pc)
+		texec, f1 := r.exec.ExecTimeF1(x)
+		cost := texec + r.p.DataTouch
+		if s := r.procs[pc].slow; s != 1 {
+			cost *= s
+		}
+		cs = append(cs, obs.Candidate{
+			Proc: pc, Warm: !math.IsInf(x, 1) && f1 < 0.5, XRefs: x, Cost: cost,
+		})
+		if cost < best {
+			best = cost
+		}
+		if pc == chosen {
+			chosenCost = cost
+		}
+	}
+	r.candScratch = cs
+	var preferred int
+	if r.p.Paradigm == sim.Locking {
+		preferred = r.disp.PreferredProc(pkt.Entity)
+	} else {
+		preferred = r.sdisp.PreferredProc(pkt.Entity)
+	}
+	r.drec.RecordDecision(obs.Decision{
+		T: float64(r.clk.Now()), Point: point, Seq: pkt.Seq,
+		Stream: pkt.Stream, Entity: pkt.Entity,
+		Chosen: chosen, Preferred: preferred,
+		ChosenCost: chosenCost, BestCost: best, Candidates: cs,
+	})
+}
+
+// decideDispatch publishes the single-candidate decision a processor
+// pulling queued work makes (see the DES runner).
+func (r *live) decideDispatch(pkt sched.Packet, proc int) {
+	r.oneProc[0] = proc
+	r.decide(obs.PointDispatch, pkt, r.oneProc[:], proc)
 }
 
 // run spawns the whole cast — one worker per processor, one arrival
@@ -458,8 +534,10 @@ func (r *live) idleProcs() []int {
 // runner's arrive, with beginService hand-offs going to real workers.
 func (r *live) arrive(stream int) {
 	r.arrivals++
+	r.streamSeq[stream]++
 	now := r.clk.Now()
-	pkt := sched.Packet{Stream: stream, Entity: entityOf(r.p, stream), Arrive: now, Seq: r.arrivals}
+	pkt := sched.Packet{Stream: stream, Entity: entityOf(r.p, stream), Arrive: now,
+		Seq: r.arrivals, StreamSeq: r.streamSeq[stream]}
 	if r.rec != nil {
 		r.emit(obs.Event{T: float64(now), Kind: obs.KindArrival,
 			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
@@ -471,6 +549,9 @@ func (r *live) arrive(stream int) {
 	if r.p.Paradigm == sim.Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
+				if r.drec != nil {
+					r.decide(obs.PointPlace, pkt, idle, proc)
+				}
 				r.begin(pkt, proc, true, true, compLocking)
 				return
 			}
@@ -492,6 +573,9 @@ func (r *live) arrive(stream int) {
 			if r.rec != nil {
 				r.emit(obs.Event{T: float64(now), Kind: obs.KindSpill,
 					Proc: proc, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+			}
+			if r.drec != nil {
+				r.decide(obs.PointSpill, pkt, idle, proc)
 			}
 			r.begin(pkt, proc, true, true, compOverflow)
 			return
@@ -526,6 +610,11 @@ func (r *live) arrive(stream int) {
 	}
 	if idle := r.idleProcs(); len(idle) > 0 {
 		if proc := r.sdisp.PickProcessor(k, idle); proc >= 0 {
+			if r.drec != nil {
+				// The stack was idle and unqueued, so the arriving packet
+				// is the one this placement runs.
+				r.decide(obs.PointPlace, pkt, idle, proc)
+			}
 			r.startStack(k, proc, true)
 			return
 		}
@@ -604,18 +693,27 @@ func (r *live) kickIdle() {
 		}
 		if r.p.Paradigm == sim.Locking {
 			if next, ok := r.disp.Dispatch(proc); ok {
+				if r.drec != nil {
+					r.decideDispatch(next, proc)
+				}
 				r.begin(next, proc, true, true, compLocking)
 			}
 			continue
 		}
 		if next := r.sdisp.DispatchStack(proc); next >= 0 {
 			r.stacks[next].queued = false
+			if r.drec != nil {
+				r.decideDispatch(r.stacks[next].q[0], proc)
+			}
 			r.startStack(next, proc, true)
 			continue
 		}
 		if r.p.Paradigm == sim.Hybrid && len(r.overflow) > 0 {
 			pkt := r.overflow[0]
 			r.overflow = r.overflow[1:]
+			if r.drec != nil {
+				r.decideDispatch(pkt, proc)
+			}
 			r.begin(pkt, proc, true, true, compOverflow)
 		}
 	}
@@ -693,6 +791,9 @@ func (r *live) begin(pkt sched.Packet, proc int, fromIdle, locked bool, done int
 		if locked {
 			flags |= obs.FlagLocked
 		}
+		if warmHit {
+			flags |= obs.FlagWarm
+		}
 		r.emit(obs.Event{T: t, Kind: obs.KindExecStart, Proc: proc,
 			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq,
 			Dur: exec, Val: x, Flags: flags})
@@ -752,6 +853,19 @@ func (r *live) settleCompletion(pkt sched.Packet, proc int, protoExec float64) {
 			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq, Dur: protoExec})
 	}
 
+	// Reordering: a completion below its stream's watermark finished
+	// after a later arrival of the same stream already did (see the DES
+	// runner's settleCompletion).
+	if pkt.StreamSeq > r.streamMaxDone[pkt.Stream] {
+		r.streamMaxDone[pkt.Stream] = pkt.StreamSeq
+	} else {
+		r.reordered++
+		r.streamReordered[pkt.Stream]++
+		if d := r.streamMaxDone[pkt.Stream] - pkt.StreamSeq; d > r.maxReorderDist {
+			r.maxReorderDist = d
+		}
+	}
+
 	if pkt.Arrive >= r.p.Warmup {
 		delay := float64(now - pkt.Arrive)
 		r.delays.Add(delay)
@@ -787,6 +901,9 @@ func (r *live) completeLocking(proc int) {
 		return
 	}
 	if next, ok := r.disp.Dispatch(proc); ok {
+		if r.drec != nil {
+			r.decideDispatch(next, proc)
+		}
 		r.begin(next, proc, false, true, compLocking)
 		return
 	}
@@ -805,12 +922,18 @@ func (r *live) completeOverflow(proc int) {
 func (r *live) dispatchHybrid(proc int) {
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
+		if r.drec != nil {
+			r.decideDispatch(r.stacks[next].q[0], proc)
+		}
 		r.startStack(next, proc, false)
 		return
 	}
 	if len(r.overflow) > 0 {
 		pkt := r.overflow[0]
 		r.overflow = r.overflow[1:]
+		if r.drec != nil {
+			r.decideDispatch(pkt, proc)
+		}
 		r.begin(pkt, proc, false, true, compOverflow)
 		return
 	}
@@ -837,9 +960,14 @@ func (r *live) completeIPS(pkt sched.Packet, proc int) {
 			st.queued = true
 			r.sdisp.EnqueueStack(k)
 			r.stacks[next].queued = false
+			if r.drec != nil {
+				r.decideDispatch(r.stacks[next].q[0], proc)
+			}
 			r.startStack(next, proc, false)
 			return
 		}
+		// Continuing the same stack on the same processor is not a
+		// decision: there was no alternative to weigh.
 		r.begin(st.q[0], proc, false, false, compIPS)
 		return
 	}
@@ -850,6 +978,9 @@ func (r *live) completeIPS(pkt sched.Packet, proc int) {
 	}
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
+		if r.drec != nil {
+			r.decideDispatch(r.stacks[next].q[0], proc)
+		}
 		r.startStack(next, proc, false)
 		return
 	}
@@ -923,8 +1054,13 @@ func (r *live) results() sim.Results {
 		InFlightAtEnd:  r.inFlight(),
 		SimTime:        now,
 
-		EventsFired:    r.clk.Fired(),
-		RecorderEvents: r.emitted,
+		EventsFired:       r.clk.Fired(),
+		RecorderEvents:    r.emitted,
+		DecisionsRecorded: r.decisions,
+
+		ReorderedTotal:     r.reordered,
+		MaxReorderDistance: r.maxReorderDist,
+		PerStreamReordered: append([]uint64(nil), r.streamReordered...),
 	}
 	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
 	res.DelayOverflow = r.delayHist.OverflowFraction()

@@ -1,0 +1,75 @@
+package live
+
+import (
+	"testing"
+
+	"affinity/internal/des"
+	"affinity/internal/faults"
+	"affinity/internal/obs"
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/traffic"
+)
+
+// kindCounter tallies events per kind; the comparisons below only use
+// kinds whose counts are determined by the deterministic inputs both
+// backends share (arrival RNG streams, loss RNG stream, fault plan) —
+// not by scheduling order, which the live backend resolves under a real
+// lock.
+type kindCounter struct {
+	counts map[obs.Kind]uint64
+}
+
+func (k *kindCounter) Record(e obs.Event) {
+	if k.counts == nil {
+		k.counts = map[obs.Kind]uint64{}
+	}
+	k.counts[e.Kind]++
+}
+
+// TestLiveObsAgreesWithDES replays the sim package's pinned fault-plan
+// fixture scenario (see TestObsGoldenFaultRun) on both backends and
+// checks the event stream agrees wherever determinism is shared:
+// arrivals, drops, and the fault transitions. Both decision ledgers must
+// be live too, even though their contents order-depend.
+func TestLiveObsAgreesWithDES(t *testing.T) {
+	params := func() sim.Params {
+		p := quick(sim.Locking, sched.MRU)
+		p.Processors = 2
+		p.Streams = 2
+		p.Arrival = traffic.Poisson{PacketsPerSec: 500}
+		p.MeasuredPackets = 100
+		p.Warmup = des.Millisecond
+		p.MaxQueueDepth = 1
+		p.Seed = 42
+		p.Faults = (&faults.Plan{}).
+			Down(20*des.Millisecond, 0).
+			Up(40*des.Millisecond, 0).
+			WithLoss(0, 0.05)
+		return p
+	}
+
+	var desCount, liveCount kindCounter
+	pd := params()
+	pd.Recorder = &desCount
+	pd.DecisionRecorder = obs.NewFlightRecorder(0, 0)
+	desRes := sim.Run(pd)
+
+	pl := params()
+	pl.Recorder = &liveCount
+	pl.DecisionRecorder = obs.NewFlightRecorder(0, 0)
+	liveRes := Run(pl)
+
+	for _, k := range []obs.Kind{obs.KindArrival, obs.KindDrop, obs.KindProcDown, obs.KindProcUp} {
+		if desCount.counts[k] != liveCount.counts[k] {
+			t.Errorf("%v: DES saw %d, live saw %d", k, desCount.counts[k], liveCount.counts[k])
+		}
+		if desCount.counts[k] == 0 {
+			t.Errorf("%v: scenario produced no events — agreement is vacuous", k)
+		}
+	}
+	if desRes.DecisionsRecorded == 0 || liveRes.DecisionsRecorded == 0 {
+		t.Errorf("decision ledgers: DES %d, live %d — both must be live",
+			desRes.DecisionsRecorded, liveRes.DecisionsRecorded)
+	}
+}

@@ -53,8 +53,8 @@ func TestSinksSteadyStateZeroAllocs(t *testing.T) {
 
 func TestFlagsStringTable(t *testing.T) {
 	// Every combination must render its member flags in the canonical
-	// cold|migrated|locked order.
-	for f := Flags(0); f < 8; f++ {
+	// cold|migrated|locked|warm order, and round-trip through ParseFlags.
+	for f := Flags(0); f < 16; f++ {
 		s := f.String()
 		want := ""
 		add := func(name string) {
@@ -72,8 +72,75 @@ func TestFlagsStringTable(t *testing.T) {
 		if f&FlagLocked != 0 {
 			add("locked")
 		}
+		if f&FlagWarm != 0 {
+			add("warm")
+		}
 		if s != want {
 			t.Errorf("Flags(%d).String() = %q, want %q", f, s, want)
 		}
+		back, ok := ParseFlags(s)
+		if !ok || back != f {
+			t.Errorf("ParseFlags(%q) = %v,%v, want %v", s, back, ok, f)
+		}
+	}
+}
+
+func steadyDecision(cands []Candidate) Decision {
+	return Decision{
+		T: 42.5, Point: PointPlace, Seq: 7, Stream: 1, Entity: 1,
+		Chosen: 2, Preferred: 0, ChosenCost: 310.25, BestCost: 284.5,
+		Candidates: cands,
+	}
+}
+
+func testDecisionSinkZeroAllocs(t *testing.T, name string, sink DecisionRecorder) {
+	t.Helper()
+	cands := []Candidate{
+		{Proc: 0, Warm: true, XRefs: 120, Cost: 284.5},
+		{Proc: 2, Warm: false, XRefs: 9000, Cost: 310.25},
+	}
+	d := steadyDecision(cands)
+	for i := 0; i < 100; i++ {
+		sink.RecordDecision(d)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		sink.RecordDecision(d)
+	})
+	if got != 0 {
+		t.Errorf("%s: %v allocs per decision in steady state, want 0", name, got)
+	}
+}
+
+func TestDecisionSinksSteadyStateZeroAllocs(t *testing.T) {
+	t.Run("flight", func(t *testing.T) {
+		testDecisionSinkZeroAllocs(t, "FlightRecorder", NewFlightRecorder(64, 4))
+	})
+	t.Run("csv", func(t *testing.T) {
+		testDecisionSinkZeroAllocs(t, "DecisionCSV", NewDecisionCSV(io.Discard))
+	})
+	t.Run("jsonl", func(t *testing.T) {
+		testDecisionSinkZeroAllocs(t, "DecisionJSONL", NewDecisionJSONL(io.Discard))
+	})
+}
+
+func TestTimeSeriesSteadyStateZeroAllocs(t *testing.T) {
+	ts := NewTimeSeries(io.Discard, 50, 2)
+	evs := steadyEvents()
+	// Advance time every pass so interval rows actually emit inside the
+	// measured loop — the emit path must be allocation-free too.
+	base := 0.0
+	pass := func() {
+		for _, e := range evs {
+			e.T += base
+			ts.Record(e)
+		}
+		base += 100
+	}
+	for i := 0; i < 100; i++ {
+		pass()
+	}
+	got := testing.AllocsPerRun(100, pass)
+	if got != 0 {
+		t.Errorf("TimeSeries: %v allocs per %d events in steady state, want 0", got, len(evs))
 	}
 }

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEventsCSVRoundTripDropReason(t *testing.T) {
+	want := []Event{
+		{T: 1.5, Kind: KindArrival, Proc: -1, Stream: 0, Entity: 0, Seq: 1},
+		{T: 2, Kind: KindExecStart, Proc: 1, Stream: 0, Entity: 0, Seq: 1,
+			Dur: 10, Val: 250.5, Flags: FlagMigrated | FlagWarm},
+		{T: 3, Kind: KindDrop, Proc: -1, Stream: 2, Entity: 2, Seq: 5, Val: DropReasonQueue},
+		{T: 4, Kind: KindDrop, Proc: -1, Stream: 2, Entity: 2, Seq: 6, Val: DropReasonLoss},
+		{T: 5, Kind: KindGaugeQueue, Proc: -1, Stream: -1, Entity: -1, Val: 0},
+	}
+	var buf bytes.Buffer
+	c := NewCSV(&buf)
+	for _, e := range want {
+		c.Record(e)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The drop rows must show readable reasons, not raw floats.
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte(",queue\n")) ||
+		!bytes.Contains(buf.Bytes(), []byte(",loss\n")) {
+		t.Fatalf("drop reasons not readable in:\n%s", out)
+	}
+	got, err := ReadEventsCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadEventsCSV: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events=%d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDropReasonStrings(t *testing.T) {
+	if DropReasonString(DropReasonQueue) != "queue" || DropReasonString(DropReasonLoss) != "loss" {
+		t.Fatal("drop reason names wrong")
+	}
+	if DropReasonString(7) != "" {
+		t.Fatal("unknown reason must render empty")
+	}
+	if v, ok := ParseDropReason("loss"); !ok || v != DropReasonLoss {
+		t.Fatal("ParseDropReason(loss) wrong")
+	}
+	if _, ok := ParseDropReason("bogus"); ok {
+		t.Fatal("ParseDropReason accepted garbage")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		back, ok := ParseKind(k.String())
+		if !ok || back != k {
+			t.Fatalf("ParseKind(%q) = %v,%v", k.String(), back, ok)
+		}
+	}
+	if _, ok := ParseKind("bogus"); ok {
+		t.Fatal("ParseKind accepted garbage")
+	}
+}
+
+func TestAnalyzeLedger(t *testing.T) {
+	ds := []Decision{
+		// stream 0: chosen == preferred, zero regret
+		{Point: PointPlace, Stream: 0, Chosen: 1, Preferred: 1, ChosenCost: 100, BestCost: 100},
+		// stream 1: moved off its preferred proc twice, regret 3 and 0.5
+		{Point: PointPlace, Stream: 1, Chosen: 2, Preferred: 0, ChosenCost: 103, BestCost: 100},
+		{Point: PointDispatch, Stream: 1, Chosen: 2, Preferred: 0, ChosenCost: 100.5, BestCost: 100},
+		// stream 2: no affinity target yet
+		{Point: PointSpill, Stream: 2, Chosen: 0, Preferred: -1, ChosenCost: 100, BestCost: 100},
+	}
+	rep := AnalyzeLedger(ds)
+	if rep.Total != 4 {
+		t.Fatalf("total=%d", rep.Total)
+	}
+	if rep.ByPoint["place"] != 2 || rep.ByPoint["dispatch"] != 1 || rep.ByPoint["spill"] != 1 {
+		t.Fatalf("by point: %v", rep.ByPoint)
+	}
+	if rep.ZeroRegret != 2 || rep.TotalRegret != 3.5 || rep.MaxRegret != 3 {
+		t.Fatalf("regret: zero=%d total=%g max=%g", rep.ZeroRegret, rep.TotalRegret, rep.MaxRegret)
+	}
+	if rep.MeanRegret() != 3.5/4 {
+		t.Fatalf("mean regret=%g", rep.MeanRegret())
+	}
+	// Histogram: zero bucket 2, (0,1] holds 0.5, (1,2] empty, (2,4] holds 3.
+	if len(rep.Hist) != 4 || rep.Hist[0].Count != 2 ||
+		rep.Hist[1].Count != 1 || rep.Hist[2].Count != 0 || rep.Hist[3].Count != 1 {
+		t.Fatalf("hist: %+v", rep.Hist)
+	}
+	// Stream 1 leads with 2 moves.
+	if rep.Streams[0].Stream != 1 || rep.Streams[0].Moves != 2 || rep.Streams[0].Regret != 3.5 {
+		t.Fatalf("top stream: %+v", rep.Streams[0])
+	}
+	if rep.Streams[1].Moves != 0 || rep.Streams[2].Moves != 0 {
+		t.Fatalf("streams: %+v", rep.Streams)
+	}
+
+	empty := AnalyzeLedger(nil)
+	if empty.Total != 0 || empty.MeanRegret() != 0 || len(empty.Hist) != 1 {
+		t.Fatalf("empty ledger report: %+v", empty)
+	}
+}
+
+func TestReorderingByStream(t *testing.T) {
+	// Stream 0 packets arrive as seqs 1,3,5 and complete 1,5,3: one
+	// completion (seq 3, rank 1) lands after rank 2 finished → distance 1.
+	// Stream 1 packets 2,4 complete in order.
+	evs := []Event{
+		{T: 0, Kind: KindArrival, Stream: 0, Seq: 1},
+		{T: 1, Kind: KindArrival, Stream: 1, Seq: 2},
+		{T: 2, Kind: KindArrival, Stream: 0, Seq: 3},
+		{T: 3, Kind: KindArrival, Stream: 1, Seq: 4},
+		{T: 4, Kind: KindArrival, Stream: 0, Seq: 5},
+		{T: 10, Kind: KindExecEnd, Stream: 0, Seq: 1},
+		{T: 11, Kind: KindExecEnd, Stream: 1, Seq: 2},
+		{T: 12, Kind: KindExecEnd, Stream: 0, Seq: 5},
+		{T: 13, Kind: KindExecEnd, Stream: 1, Seq: 4},
+		{T: 14, Kind: KindExecEnd, Stream: 0, Seq: 3},
+	}
+	got := ReorderingByStream(evs)
+	if len(got) != 2 {
+		t.Fatalf("streams=%d", len(got))
+	}
+	if got[0] != (StreamReorder{Stream: 0, Completions: 3, Reordered: 1, MaxDistance: 1}) {
+		t.Fatalf("stream 0: %+v", got[0])
+	}
+	if got[1] != (StreamReorder{Stream: 1, Completions: 2, Reordered: 0, MaxDistance: 0}) {
+		t.Fatalf("stream 1: %+v", got[1])
+	}
+}
+
+func TestReorderingByStreamNoArrivals(t *testing.T) {
+	// Without arrivals the ranks fall back to the completions' own seqs.
+	evs := []Event{
+		{T: 10, Kind: KindExecEnd, Stream: 0, Seq: 9},
+		{T: 11, Kind: KindExecEnd, Stream: 0, Seq: 4},
+	}
+	got := ReorderingByStream(evs)
+	if len(got) != 1 || got[0].Reordered != 1 || got[0].MaxDistance != 1 {
+		t.Fatalf("fallback: %+v", got)
+	}
+}

@@ -8,10 +8,12 @@ import (
 
 // CSV streams every event as one row of a CSV time series:
 //
-//	t_us,kind,proc,stream,entity,seq,dur_us,value,flags
+//	t_us,kind,proc,stream,entity,seq,dur_us,value,flags,reason
 //
 // Indices that do not apply print as -1 and payloads as empty fields,
-// so the output loads cleanly into dataframe tools. Close flushes.
+// so the output loads cleanly into dataframe tools. Drop events render
+// their reason code as a readable string in the reason column ("queue",
+// "loss") and leave the value column empty. Close flushes.
 //
 // Rows are built by hand into a reused scratch buffer rather than
 // through encoding/csv: no field the sink emits ever needs quoting
@@ -31,7 +33,7 @@ func NewCSV(w io.Writer) *CSV {
 		w:   bufio.NewWriter(w),
 		row: make([]byte, 0, 128),
 	}
-	_, c.err = c.w.WriteString("t_us,kind,proc,stream,entity,seq,dur_us,value,flags\n")
+	_, c.err = c.w.WriteString("t_us,kind,proc,stream,entity,seq,dur_us,value,flags,reason\n")
 	return c
 }
 
@@ -59,11 +61,15 @@ func (c *CSV) Record(e Event) {
 		b = strconv.AppendFloat(b, e.Dur, 'g', -1, 64)
 	}
 	b = append(b, ',')
-	if e.Val != 0 || e.Kind.Gauge() {
+	if e.Kind != KindDrop && (e.Val != 0 || e.Kind.Gauge()) {
 		b = strconv.AppendFloat(b, e.Val, 'g', -1, 64)
 	}
 	b = append(b, ',')
 	b = append(b, e.Flags.String()...)
+	b = append(b, ',')
+	if e.Kind == KindDrop {
+		b = append(b, DropReasonString(e.Val)...)
+	}
 	b = append(b, '\n')
 	c.row = b
 	_, c.err = c.w.Write(b)

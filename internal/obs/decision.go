@@ -1,0 +1,206 @@
+package obs
+
+import "fmt"
+
+// The decision ledger is obs v2's second stream: where Event records
+// what *happened*, a Decision records what was *decided* — the processor
+// a dispatch decision chose plus every candidate it considered, each
+// with its predicted execution cost. The simulator computes candidate
+// costs from the same pure model functions it charges service with, so
+// recording decisions never perturbs a run; the zero-overhead contract
+// matches the event stream's (one nil-recorder branch per decision site
+// when disabled, zero allocations per decision when enabled).
+
+// DecisionPoint classifies where in the dispatch pipeline a decision was
+// taken.
+type DecisionPoint uint8
+
+const (
+	// PointPlace is an arrival placement: the dispatcher chose an idle
+	// processor for newly arrived work, considering the whole idle set.
+	PointPlace DecisionPoint = iota
+	// PointDispatch is a processor pulling queued work: the processor is
+	// fixed, so the candidate set is just it (the choice was which work,
+	// not where).
+	PointDispatch
+	// PointSpill is a Hybrid overflow placement: a packet diverted to
+	// the shared locking path, placed on a random idle processor.
+	PointSpill
+
+	numPoints
+)
+
+var pointNames = [numPoints]string{"place", "dispatch", "spill"}
+
+func (p DecisionPoint) String() string {
+	if int(p) < len(pointNames) {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("DecisionPoint(%d)", int(p))
+}
+
+// ParseDecisionPoint inverts DecisionPoint.String.
+func ParseDecisionPoint(s string) (DecisionPoint, bool) {
+	for i, name := range pointNames {
+		if name == s {
+			return DecisionPoint(i), true
+		}
+	}
+	return 0, false
+}
+
+// Candidate is one processor a decision considered.
+type Candidate struct {
+	Proc int
+	// Warm predicts a warm execution there: the entity's footprint
+	// displacement is finite and under the F1 = 0.5 knee — the same
+	// predicate the simulator's WarmFraction counts.
+	Warm bool
+	// XRefs is the displacing references the entity suffered on the
+	// processor since it last ran there (+Inf = never ran, cold).
+	XRefs float64
+	// Cost is the predicted execution time there, µs (model output plus
+	// fixed data-touching cost, slow-down faults applied).
+	Cost float64
+}
+
+// Decision is one dispatch decision with its alternatives. Regret — the
+// price of the choice against the cheapest candidate — is ChosenCost
+// minus BestCost, ≥ 0 by construction.
+type Decision struct {
+	T      float64 // simulation time, µs
+	Point  DecisionPoint
+	Seq    uint64 // packet serial number (the packet the decision ran)
+	Stream int
+	Entity int
+	// Chosen is the processor the decision selected; Preferred is the
+	// dispatcher's affinity target for the entity (-1 when it has none —
+	// no-affinity baselines, entity not seen yet).
+	Chosen     int
+	Preferred  int
+	ChosenCost float64 // predicted cost on Chosen, µs
+	BestCost   float64 // cheapest candidate's predicted cost, µs
+	// Candidates is the considered set. It aliases the emitter's scratch
+	// buffer and is valid only for the duration of the RecordDecision
+	// call: recorders that retain decisions must copy it (FlightRecorder
+	// copies into its preallocated arena).
+	Candidates []Candidate
+}
+
+// Regret returns the predicted cost of the choice over the cheapest
+// alternative considered, µs.
+func (d Decision) Regret() float64 { return d.ChosenCost - d.BestCost }
+
+// DecisionRecorder receives the decision stream. Like Recorder,
+// implementations need not be goroutine-safe: the DES is
+// single-threaded and the live backend serializes emissions under its
+// dispatch lock.
+type DecisionRecorder interface {
+	RecordDecision(Decision)
+}
+
+// teeDecision fans decisions out to several recorders.
+type teeDecision []DecisionRecorder
+
+func (t teeDecision) RecordDecision(d Decision) {
+	for _, r := range t {
+		r.RecordDecision(d)
+	}
+}
+
+// DecisionMulti returns a DecisionRecorder forwarding each decision to
+// every non-nil rec, mirroring Multi.
+func DecisionMulti(recs ...DecisionRecorder) DecisionRecorder {
+	var t teeDecision
+	for _, r := range recs {
+		if r != nil {
+			t = append(t, r)
+		}
+	}
+	switch len(t) {
+	case 0:
+		return nil
+	case 1:
+		return t[0]
+	}
+	return t
+}
+
+// FlightRecorder keeps the last capacity decisions in a fixed-size ring
+// buffer — a crash-dump-style recorder cheap enough to leave attached to
+// any run. All storage (the ring and a per-slot candidate arena) is
+// allocated up front, so RecordDecision never allocates; candidate sets
+// larger than the per-slot arena are truncated and counted.
+type FlightRecorder struct {
+	slots     []Decision
+	arena     []Candidate // slot i owns arena[i*maxCands : (i+1)*maxCands]
+	maxCands  int
+	n         uint64 // total decisions recorded (ring has min(n, cap))
+	truncated uint64
+}
+
+// NewFlightRecorder returns a ring holding the last capacity decisions
+// with up to maxCands candidates each (non-positive arguments select 256
+// and 8).
+func NewFlightRecorder(capacity, maxCands int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	if maxCands <= 0 {
+		maxCands = 8
+	}
+	return &FlightRecorder{
+		slots:    make([]Decision, capacity),
+		arena:    make([]Candidate, capacity*maxCands),
+		maxCands: maxCands,
+	}
+}
+
+// RecordDecision implements DecisionRecorder, copying the candidate set
+// into the slot's arena (truncating past maxCands).
+func (f *FlightRecorder) RecordDecision(d Decision) {
+	i := int(f.n % uint64(len(f.slots)))
+	f.n++
+	cands := d.Candidates
+	if len(cands) > f.maxCands {
+		cands = cands[:f.maxCands]
+		f.truncated++
+	}
+	dst := f.arena[i*f.maxCands : i*f.maxCands+len(cands)]
+	copy(dst, cands)
+	d.Candidates = dst
+	f.slots[i] = d
+}
+
+// Len returns how many decisions the ring currently holds.
+func (f *FlightRecorder) Len() int {
+	if f.n < uint64(len(f.slots)) {
+		return int(f.n)
+	}
+	return len(f.slots)
+}
+
+// Total returns how many decisions were recorded over the recorder's
+// lifetime (recorded − Len() have been overwritten).
+func (f *FlightRecorder) Total() uint64 { return f.n }
+
+// Truncated returns how many decisions had their candidate set cut to
+// the per-slot arena size.
+func (f *FlightRecorder) Truncated() uint64 { return f.truncated }
+
+// Snapshot returns the retained decisions oldest-first, with candidate
+// sets copied out of the arena (safe to hold across further recording).
+func (f *FlightRecorder) Snapshot() []Decision {
+	n := f.Len()
+	out := make([]Decision, 0, n)
+	start := uint64(0)
+	if f.n > uint64(len(f.slots)) {
+		start = f.n - uint64(len(f.slots))
+	}
+	for s := start; s < f.n; s++ {
+		d := f.slots[int(s%uint64(len(f.slots)))]
+		d.Candidates = append([]Candidate(nil), d.Candidates...)
+		out = append(out, d)
+	}
+	return out
+}

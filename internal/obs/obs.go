@@ -104,6 +104,41 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, bool) {
+	for i, name := range kindNames {
+		if name == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// dropReasonNames maps DropReason* values to the readable strings the
+// CSV sink emits in its reason column.
+var dropReasonNames = [2]string{"queue", "loss"}
+
+// DropReasonString renders a KindDrop event's Val as the readable drop
+// reason ("queue" or "loss"); unknown values render as "".
+func DropReasonString(v float64) string {
+	i := int(v)
+	if float64(i) == v && i >= 0 && i < len(dropReasonNames) {
+		return dropReasonNames[i]
+	}
+	return ""
+}
+
+// ParseDropReason inverts DropReasonString, returning the DropReason*
+// value for a reason column string.
+func ParseDropReason(s string) (float64, bool) {
+	for i, name := range dropReasonNames {
+		if name == s {
+			return float64(i), true
+		}
+	}
+	return 0, false
+}
+
 // Gauge reports whether k is a periodic gauge sample.
 func (k Kind) Gauge() bool { return k >= KindGaugeQueue && k < numKinds }
 
@@ -120,21 +155,39 @@ const (
 	// FlagLocked marks service through the shared lock-protected path
 	// (Locking paradigm, or a Hybrid overflow packet).
 	FlagLocked
+	// FlagWarm marks a warm execution: the entity's footprint
+	// displacement on the processor is finite and below the F1 = 0.5
+	// knee — the same predicate the simulator's WarmFraction counts, so
+	// interval aggregators can reproduce that metric from the stream.
+	FlagWarm
 )
 
 // flagNames holds every flag combination, indexed by the Flags value,
 // so String is a table lookup — the sinks call it per event and must
 // not allocate.
-var flagNames = [8]string{
+var flagNames = [16]string{
 	"", "cold", "migrated", "cold|migrated",
 	"locked", "cold|locked", "migrated|locked", "cold|migrated|locked",
+	"warm", "cold|warm", "migrated|warm", "cold|migrated|warm",
+	"locked|warm", "cold|locked|warm", "migrated|locked|warm",
+	"cold|migrated|locked|warm",
 }
 
 func (f Flags) String() string {
 	if int(f) < len(flagNames) {
 		return flagNames[f]
 	}
-	return flagNames[f&7]
+	return flagNames[f&15]
+}
+
+// ParseFlags inverts Flags.String.
+func ParseFlags(s string) (Flags, bool) {
+	for i, name := range flagNames {
+		if name == s {
+			return Flags(i), true
+		}
+	}
+	return 0, false
 }
 
 // Event is one observation. Fields that do not apply to the Kind are

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Metrics export: render a Snapshot as Prometheus text exposition or
+// indented JSON. Both writers iterate kinds in enum order so output is
+// deterministic — diffs and goldens stay stable as kinds are added at
+// the end of the enum. This is the file a served-metrics endpoint will
+// reuse; for now the CLI writes it once post-run.
+
+// promSummary emits one Summary as _count/_mean/_min/_max series.
+func promSummary(w io.Writer, name, help string, s Summary) error {
+	if s.N == 0 {
+		return nil
+	}
+	_, err := fmt.Fprintf(w,
+		"# HELP affinity_%s %s\n# TYPE affinity_%s summary\naffinity_%s_count %d\naffinity_%s_mean %g\naffinity_%s_min %g\naffinity_%s_max %g\n",
+		name, help, name, name, s.N, name, s.Mean, name, s.Min, name, s.Max)
+	return err
+}
+
+// WritePrometheus renders s in the Prometheus text exposition format
+// (version 0.0.4): one affinity_events_total series per event kind
+// (label kind="…"), per-processor busy time, and summary series for the
+// recorded duration distributions.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	if _, err := fmt.Fprintf(w,
+		"# HELP affinity_events_total Events recorded, by kind.\n# TYPE affinity_events_total counter\n"); err != nil {
+		return err
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		n, ok := s.Counts[k.String()]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "affinity_events_total{kind=%q} %d\n", k.String(), n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP affinity_proc_busy_us Closed per-processor busy time, microseconds.\n# TYPE affinity_proc_busy_us counter\n"); err != nil {
+		return err
+	}
+	for p, busy := range s.PerProcBusy {
+		if _, err := fmt.Fprintf(w, "affinity_proc_busy_us{proc=\"%d\"} %g\n", p, busy); err != nil {
+			return err
+		}
+	}
+	sums := []struct {
+		name, help string
+		s          Summary
+	}{
+		{"exec_time_us", "Per-completion protocol execution time, microseconds.", s.ExecTime},
+		{"queue_wait_us", "Per-dispatch queueing delay, microseconds.", s.QueueWait},
+		{"busy_interval_us", "Closed processor busy intervals, microseconds.", s.BusyInterval},
+		{"idle_interval_us", "Closed processor idle intervals, microseconds.", s.IdleInterval},
+		{"down_interval_us", "Closed processor down intervals, microseconds.", s.DownInterval},
+		{"queue_depth", "Sampled packets waiting in all queues.", s.QueueDepth},
+	}
+	for _, x := range sums {
+		if err := promSummary(w, x.name, x.help, x.s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMetricsJSON renders s as indented JSON, a machine-readable twin
+// of the Prometheus text.
+func WriteMetricsJSON(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func exportSnapshot() Snapshot {
+	m := NewMetrics()
+	m.Record(Event{T: 0, Kind: KindArrival, Proc: -1, Stream: 0, Seq: 1})
+	m.Record(Event{T: 5, Kind: KindDispatch, Proc: 1, Stream: 0, Seq: 1, Dur: 5})
+	m.Record(Event{T: 5, Kind: KindExecStart, Proc: 1, Stream: 0, Seq: 1, Dur: 100, Val: math.Inf(1), Flags: FlagCold})
+	m.Record(Event{T: 105, Kind: KindExecEnd, Proc: 1, Stream: 0, Seq: 1, Dur: 100})
+	m.Record(Event{T: 105, Kind: KindProcIdle, Proc: 1, Dur: 100})
+	m.Record(Event{T: 110, Kind: KindDrop, Stream: 1, Seq: 2, Val: DropReasonLoss})
+	m.Record(Event{T: 120, Kind: KindGaugeQueue, Val: 4})
+	return m.Snapshot()
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, exportSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`affinity_events_total{kind="arrival"} 1`,
+		`affinity_events_total{kind="drop"} 1`,
+		`affinity_proc_busy_us{proc="1"} 100`,
+		"# TYPE affinity_events_total counter",
+		"affinity_exec_time_us_count 1",
+		"affinity_exec_time_us_mean 100",
+		"affinity_queue_wait_us_mean 5",
+		"affinity_queue_depth_mean 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Empty summaries must not emit series.
+	if strings.Contains(out, "down_interval") {
+		t.Errorf("empty summary emitted:\n%s", out)
+	}
+	// Deterministic: same snapshot, same bytes.
+	var buf2 bytes.Buffer
+	if err := WritePrometheus(&buf2, exportSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("prometheus output is not deterministic")
+	}
+}
+
+func TestWriteMetricsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMetricsJSON(&buf, exportSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if back.Arrivals != 1 || back.Drops != 1 || back.Counts["exec_end"] != 1 {
+		t.Fatalf("round-trip lost counters: %+v", back)
+	}
+}

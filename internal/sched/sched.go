@@ -39,6 +39,10 @@ type Packet struct {
 	Entity int
 	Arrive des.Time
 	Seq    uint64
+	// StreamSeq is the packet's 1-based position within its stream's
+	// arrival order; the reordering metric compares completion order
+	// against it.
+	StreamSeq uint64
 }
 
 // Kind names a scheduling policy.
@@ -122,6 +126,12 @@ type PacketDispatcher interface {
 	// landed work on the processor holding the entity's warm state,
 	// out of the total decisions made.
 	AffinityStats() (hits, total uint64)
+	// PreferredProc returns the processor the policy would steer the
+	// entity toward — its affinity target — or -1 when it has none
+	// (no-affinity baselines, entity not seen yet). It is a pure read
+	// for the decision ledger: it must not create or mutate placement
+	// state.
+	PreferredProc(entity int) int
 }
 
 // affinityCount instruments a policy's decisions for the observability
@@ -208,6 +218,8 @@ func (f *fcfs) DepthFor(Packet) int { return f.q.len() }
 func (*fcfs) ProcDown(int) {}
 func (*fcfs) ProcUp(int)   {}
 
+func (*fcfs) PreferredProc(int) int { return -1 }
+
 // mru: central FIFO with affinity preference at both decision points.
 type mru struct {
 	affinityCount
@@ -272,6 +284,13 @@ func (m *mru) ProcDown(proc int) {
 }
 
 func (*mru) ProcUp(int) {}
+
+func (m *mru) PreferredProc(entity int) int {
+	if h, ok := m.mru[entity]; ok {
+		return h
+	}
+	return -1
+}
 
 // pools: per-processor queues with a per-stream home. With stealing it
 // is the ThreadPools policy, without it Wired-Streams.
@@ -451,6 +470,16 @@ func (p *pools) ProcUp(proc int) {
 			p.queues[proc].push(pk)
 		}
 	}
+}
+
+// PreferredProc reads the entity's home without assigning one — homeOf
+// would mutate the map, and ledger reads must not shift round-robin
+// placement.
+func (p *pools) PreferredProc(entity int) int {
+	if h, ok := p.home[entity]; ok {
+		return h
+	}
+	return -1
 }
 
 // fifo is a slice-backed FIFO of packets that recycles its backing

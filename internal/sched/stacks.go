@@ -34,6 +34,10 @@ type StackDispatcher interface {
 	// AffinityStats reports how many placement/dispatch decisions
 	// landed a stack on its warm processor, out of the total made.
 	AffinityStats() (hits, total uint64)
+	// PreferredProc returns the processor the policy would steer the
+	// stack toward, or -1 when it has no target (see
+	// PacketDispatcher.PreferredProc). A pure read — no state changes.
+	PreferredProc(stack int) int
 }
 
 // NewStackDispatcher builds the IPS dispatcher for kind k with the given
@@ -188,6 +192,8 @@ func (w *wiredStacks) ProcUp(proc int) {
 	}
 }
 
+func (w *wiredStacks) PreferredProc(stack int) int { return w.wire[stack] }
+
 func (w *wiredStacks) QueuedStacks() int {
 	n := 0
 	for _, q := range w.runq {
@@ -261,6 +267,13 @@ func (m *mruStacks) ProcDown(proc int) {
 
 func (*mruStacks) ProcUp(int) {}
 
+func (m *mruStacks) PreferredProc(stack int) int {
+	if h, ok := m.mru[stack]; ok {
+		return h
+	}
+	return -1
+}
+
 // randomStacks is the no-affinity IPS baseline: a ready stack is placed
 // on a uniformly random idle processor and dispatched FIFO, with no
 // memory of where it ran before. The affinity policies are measured
@@ -297,3 +310,5 @@ func (r *randomStacks) QueuedStacks() int { return len(r.ready) }
 // IPS-Random has no placement state to degrade.
 func (*randomStacks) ProcDown(int) {}
 func (*randomStacks) ProcUp(int)   {}
+
+func (*randomStacks) PreferredProc(int) int { return -1 }

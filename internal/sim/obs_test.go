@@ -37,6 +37,39 @@ func TestRecorderDoesNotPerturb(t *testing.T) {
 	}
 }
 
+// TestDecisionRecorderDoesNotPerturb extends the non-perturbation
+// contract to the decision ledger: decide reads the same cost model
+// beginService charges with but must leave every simulated metric
+// bit-identical, and the ledger must see at least one decision at every
+// decision point the paradigm exercises.
+func TestDecisionRecorderDoesNotPerturb(t *testing.T) {
+	for _, paradigm := range []Paradigm{Locking, IPS, Hybrid} {
+		policy := sched.MRU
+		if paradigm != Locking {
+			policy = sched.IPSMRU
+		}
+		plain := Run(quick(paradigm, policy))
+
+		p := quick(paradigm, policy)
+		fr := obs.NewFlightRecorder(4096, 0)
+		p.DecisionRecorder = fr
+		rec := Run(p)
+
+		if rec.DecisionsRecorded == 0 || fr.Total() == 0 {
+			t.Fatalf("%v: ledger saw no decisions (results %d, recorder %d)",
+				paradigm, rec.DecisionsRecorded, fr.Total())
+		}
+		if rec.DecisionsRecorded != fr.Total() {
+			t.Fatalf("%v: DecisionsRecorded %d != recorder's own count %d",
+				paradigm, rec.DecisionsRecorded, fr.Total())
+		}
+		rec.DecisionsRecorded, plain.DecisionsRecorded = 0, 0
+		if !reflect.DeepEqual(plain, rec) {
+			t.Fatalf("%v: decision ledger perturbed the run:\n%+v\n%+v", paradigm, plain, rec)
+		}
+	}
+}
+
 // TestMetricsConsistentWithResults is the acceptance criterion: the
 // metrics sink's counters must match the simulator's own aggregates.
 func TestMetricsConsistentWithResults(t *testing.T) {

@@ -112,8 +112,9 @@ func (pl *Pool) runLimited(p Params) Results {
 // background workload, fault plan, arrival specs) enters by value, so
 // two Params built independently but describing the same run share a
 // key and any semantic difference changes it. The second return is
-// false when the run is not cacheable (an attached Recorder makes the
-// run's event stream a side effect).
+// false when the run is not cacheable (an attached Recorder or
+// DecisionRecorder makes the run's event/decision stream a side
+// effect).
 //
 // Every field is spelled out by hand rather than formatted with %#v:
 // the reflective form is sensitive to representation details (field
@@ -123,7 +124,7 @@ func (pl *Pool) runLimited(p Params) Results {
 // TestCacheKeyCoversAllParams pins the field list to the Params struct
 // so a new field cannot be forgotten here.
 func CacheKey(p Params) (string, bool) {
-	if p.Recorder != nil {
+	if p.Recorder != nil || p.DecisionRecorder != nil {
 		return "", false
 	}
 	p = p.WithDefaults()

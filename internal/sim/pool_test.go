@@ -109,24 +109,25 @@ var cacheKeyMutations = map[string]func(*Params){
 			traffic.Poisson{PacketsPerSec: 3}, traffic.Poisson{PacketsPerSec: 4},
 		}
 	},
-	"Background":      func(p *Params) { p.Background = &workload.NonProtocol{Intensity: 0.1} },
-	"LockOverhead":    func(p *Params) { p.LockOverhead = 7 },
-	"LockCritFrac":    func(p *Params) { p.LockCritFrac = 0.4 },
-	"CodeSharedFrac":  func(p *Params) { p.CodeSharedFrac = 0.9 },
-	"DataTouch":       func(p *Params) { p.DataTouch = 35 },
-	"HybridOverflow":  func(p *Params) { p.HybridOverflow = 9 },
-	"MRULookahead":    func(p *Params) { p.MRULookahead = 8 },
-	"Seed":            func(p *Params) { p.Seed = 2 },
-	"Warmup":          func(p *Params) { p.Warmup = 5 * des.Millisecond },
-	"MeasuredPackets": func(p *Params) { p.MeasuredPackets = 301 },
-	"MaxTime":         func(p *Params) { p.MaxTime = des.Second },
-	"TargetRelCI":     func(p *Params) { p.TargetRelCI = 0.05 },
-	"TraceN":          func(p *Params) { p.TraceN = 10 },
-	"BatchSize":       func(p *Params) { p.BatchSize = 99 },
-	"Faults":          func(p *Params) { p.Faults = (&faults.Plan{}).Down(des.Second, 0) },
-	"MaxQueueDepth":   func(p *Params) { p.MaxQueueDepth = 16 },
-	"Recorder":        func(p *Params) { p.Recorder = obs.NewMetrics() },
-	"SamplePeriod":    func(p *Params) { p.SamplePeriod = 2 * des.Millisecond },
+	"Background":       func(p *Params) { p.Background = &workload.NonProtocol{Intensity: 0.1} },
+	"LockOverhead":     func(p *Params) { p.LockOverhead = 7 },
+	"LockCritFrac":     func(p *Params) { p.LockCritFrac = 0.4 },
+	"CodeSharedFrac":   func(p *Params) { p.CodeSharedFrac = 0.9 },
+	"DataTouch":        func(p *Params) { p.DataTouch = 35 },
+	"HybridOverflow":   func(p *Params) { p.HybridOverflow = 9 },
+	"MRULookahead":     func(p *Params) { p.MRULookahead = 8 },
+	"Seed":             func(p *Params) { p.Seed = 2 },
+	"Warmup":           func(p *Params) { p.Warmup = 5 * des.Millisecond },
+	"MeasuredPackets":  func(p *Params) { p.MeasuredPackets = 301 },
+	"MaxTime":          func(p *Params) { p.MaxTime = des.Second },
+	"TargetRelCI":      func(p *Params) { p.TargetRelCI = 0.05 },
+	"TraceN":           func(p *Params) { p.TraceN = 10 },
+	"BatchSize":        func(p *Params) { p.BatchSize = 99 },
+	"Faults":           func(p *Params) { p.Faults = (&faults.Plan{}).Down(des.Second, 0) },
+	"MaxQueueDepth":    func(p *Params) { p.MaxQueueDepth = 16 },
+	"Recorder":         func(p *Params) { p.Recorder = obs.NewMetrics() },
+	"DecisionRecorder": func(p *Params) { p.DecisionRecorder = obs.NewFlightRecorder(0, 0) },
+	"SamplePeriod":     func(p *Params) { p.SamplePeriod = 2 * des.Millisecond },
 }
 
 // CacheKey spells Params out field by field (no %#v), so a field added
@@ -157,9 +158,9 @@ func TestCacheKeyFieldSensitivity(t *testing.T) {
 		p := base
 		mutate(&p)
 		k, cacheable := CacheKey(p)
-		if name == "Recorder" {
+		if name == "Recorder" || name == "DecisionRecorder" {
 			if cacheable {
-				t.Error("Recorder run reported cacheable")
+				t.Errorf("%s run reported cacheable", name)
 			}
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 
 	"affinity/internal/core"
 	"affinity/internal/des"
+	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/traffic"
 )
@@ -175,6 +176,51 @@ func TestRunnerSteadyStateZeroAllocs(t *testing.T) {
 			})
 			if got != 0 {
 				t.Errorf("%v allocs per 2000 events in steady state, want 0", got)
+			}
+		})
+	}
+}
+
+// TestRunnerDecisionPathZeroAllocs extends the steady-state pin to the
+// decision ledger: with a FlightRecorder attached, every decide call
+// (candidate costing, Decision emission, ring capture) must still run
+// without allocating — the candidate buffer is scratch and the ring's
+// arena is pre-sized.
+func TestRunnerDecisionPathZeroAllocs(t *testing.T) {
+	for _, c := range []struct {
+		name     string
+		paradigm Paradigm
+		policy   sched.Kind
+	}{
+		{"locking-mru", Locking, sched.MRU},
+		{"ips-wired", IPS, sched.IPSWired},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			p := quick(c.paradigm, c.policy)
+			p.Arrival = traffic.Poisson{PacketsPerSec: 3000}
+			p.MeasuredPackets = 1 << 30 // never stop
+			p.DecisionRecorder = obs.NewFlightRecorder(0, 0)
+			p = p.WithDefaults()
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			r := newRunner(p)
+			r.start()
+			for i := 0; i < 200_000; i++ {
+				if !r.sim.Step() {
+					t.Fatal("simulation ran dry during warmup")
+				}
+			}
+			if r.decisions == 0 {
+				t.Fatal("no decisions recorded during warmup — the path under test never ran")
+			}
+			got := testing.AllocsPerRun(50, func() {
+				for i := 0; i < 2_000; i++ {
+					r.sim.Step()
+				}
+			})
+			if got != 0 {
+				t.Errorf("%v allocs per 2000 events with decision ledger, want 0", got)
 			}
 		})
 	}

@@ -137,6 +137,27 @@ type runner struct {
 	rec     obs.Recorder
 	tsink   *traceSink
 	emitted uint64
+
+	// Decision-ledger state: drec is Params.DecisionRecorder (every
+	// decide call site is guarded by `r.drec != nil`), decisions counts
+	// what was published, candScratch is the reused candidate buffer
+	// (each Decision aliases it for the duration of RecordDecision) and
+	// oneProc the reused single-candidate set for dispatch decisions.
+	drec        obs.DecisionRecorder
+	decisions   uint64
+	candScratch []obs.Candidate
+	oneProc     [1]int
+
+	// Per-stream reordering state: streamSeq numbers each stream's
+	// arrivals (1-based), streamMaxDone is the highest StreamSeq
+	// completed, streamReordered the out-of-order completion count. The
+	// counters always run — they are a few integer ops per packet — so
+	// Results carries the metric with or without recorders.
+	streamSeq       []uint64
+	streamMaxDone   []uint64
+	streamReordered []uint64
+	reordered       uint64
+	maxReorderDist  uint64
 }
 
 // traceSink adapts the recorder event stream back into the legacy
@@ -188,6 +209,14 @@ func newRunner(p Params) *runner {
 		delays:     stats.NewBatchMeans(p.BatchSize),
 		delayHist:  stats.NewHistogram(0, 100_000, 10_000), // 10 µs bins to 100 ms
 		perStream:  make([]stats.Accumulator, p.Streams),
+
+		drec:            p.DecisionRecorder,
+		streamSeq:       make([]uint64, p.Streams),
+		streamMaxDone:   make([]uint64, p.Streams),
+		streamReordered: make([]uint64, p.Streams),
+	}
+	if r.drec != nil {
+		r.candScratch = make([]obs.Candidate, 0, p.Processors)
 	}
 	for i := range r.lastProcOf {
 		r.lastProcOf[i] = -1
@@ -231,6 +260,58 @@ func newRunner(p Params) *runner {
 func (r *runner) emit(e obs.Event) {
 	r.emitted++
 	r.rec.Record(e)
+}
+
+// decide publishes one dispatch decision: the chosen processor plus the
+// candidate set considered, each with the warm/cold prediction and the
+// execution cost the model would charge there right now. Costs come
+// from the same pure functions beginService charges with, so recording
+// reads simulator state without touching it. Callers guard with
+// r.drec != nil; the emitted Decision aliases candScratch, valid only
+// for the duration of RecordDecision.
+func (r *runner) decide(point obs.DecisionPoint, pkt sched.Packet, cands []int, chosen int) {
+	r.decisions++
+	cs := r.candScratch[:0]
+	best := math.Inf(1)
+	chosenCost := 0.0
+	for _, pc := range cands {
+		x := r.xRefs(pkt.Entity, pc)
+		texec, f1 := r.exec.ExecTimeF1(x)
+		cost := texec + r.p.DataTouch
+		if s := r.procs[pc].slow; s != 1 {
+			cost *= s
+		}
+		cs = append(cs, obs.Candidate{
+			Proc: pc, Warm: !math.IsInf(x, 1) && f1 < 0.5, XRefs: x, Cost: cost,
+		})
+		if cost < best {
+			best = cost
+		}
+		if pc == chosen {
+			chosenCost = cost
+		}
+	}
+	r.candScratch = cs
+	var preferred int
+	if r.p.Paradigm == Locking {
+		preferred = r.disp.PreferredProc(pkt.Entity)
+	} else {
+		preferred = r.sdisp.PreferredProc(pkt.Entity)
+	}
+	r.drec.RecordDecision(obs.Decision{
+		T: float64(r.sim.Now()), Point: point, Seq: pkt.Seq,
+		Stream: pkt.Stream, Entity: pkt.Entity,
+		Chosen: chosen, Preferred: preferred,
+		ChosenCost: chosenCost, BestCost: best, Candidates: cs,
+	})
+}
+
+// decideDispatch publishes the single-candidate decision a processor
+// pulling queued work makes: the processor is fixed, the choice was
+// which work to run.
+func (r *runner) decideDispatch(pkt sched.Packet, proc int) {
+	r.oneProc[0] = proc
+	r.decide(obs.PointDispatch, pkt, r.oneProc[:], proc)
 }
 
 // arrivalsNames caches the per-stream RNG stream names so a run's
@@ -379,7 +460,9 @@ func (r *runner) idleProcs() []int {
 
 func (r *runner) arrive(stream int) {
 	r.arrivals++
-	pkt := sched.Packet{Stream: stream, Entity: r.p.entityOf(stream), Arrive: r.sim.Now(), Seq: r.arrivals}
+	r.streamSeq[stream]++
+	pkt := sched.Packet{Stream: stream, Entity: r.p.entityOf(stream), Arrive: r.sim.Now(),
+		Seq: r.arrivals, StreamSeq: r.streamSeq[stream]}
 	if r.rec != nil {
 		r.emit(obs.Event{T: float64(pkt.Arrive), Kind: obs.KindArrival,
 			Proc: -1, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
@@ -391,6 +474,9 @@ func (r *runner) arrive(stream int) {
 	if r.p.Paradigm == Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
+				if r.drec != nil {
+					r.decide(obs.PointPlace, pkt, idle, proc)
+				}
 				r.beginService(pkt, proc, true, true, compLocking)
 				return
 			}
@@ -416,6 +502,9 @@ func (r *runner) arrive(stream int) {
 			if r.rec != nil {
 				r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
 					Proc: proc, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
+			}
+			if r.drec != nil {
+				r.decide(obs.PointSpill, pkt, idle, proc)
 			}
 			r.beginService(pkt, proc, true, true, compOverflow)
 			return
@@ -450,6 +539,11 @@ func (r *runner) arrive(stream int) {
 	}
 	if idle := r.idleProcs(); len(idle) > 0 {
 		if proc := r.sdisp.PickProcessor(k, idle); proc >= 0 {
+			if r.drec != nil {
+				// The stack was idle and unqueued, so the arriving packet
+				// is the one this placement runs.
+				r.decide(obs.PointPlace, pkt, idle, proc)
+			}
 			r.startStack(k, proc, true)
 			return
 		}
@@ -543,17 +637,27 @@ func (r *runner) kickIdle() {
 		}
 		if r.p.Paradigm == Locking {
 			if next, ok := r.disp.Dispatch(proc); ok {
+				if r.drec != nil {
+					r.decideDispatch(next, proc)
+				}
 				r.beginService(next, proc, true, true, compLocking)
 			}
 			continue
 		}
 		if next := r.sdisp.DispatchStack(proc); next >= 0 {
 			r.stacks[next].queued = false
+			if r.drec != nil {
+				r.decideDispatch(r.stacks[next].q.front(), proc)
+			}
 			r.startStack(next, proc, true)
 			continue
 		}
 		if r.p.Paradigm == Hybrid && r.overflow.len() > 0 {
-			r.beginService(r.overflow.pop(), proc, true, true, compOverflow)
+			pkt := r.overflow.pop()
+			if r.drec != nil {
+				r.decideDispatch(pkt, proc)
+			}
+			r.beginService(pkt, proc, true, true, compOverflow)
 		}
 	}
 }
@@ -725,6 +829,9 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 		if locked {
 			flags |= obs.FlagLocked
 		}
+		if warmHit {
+			flags |= obs.FlagWarm
+		}
 		r.emit(obs.Event{T: t, Kind: obs.KindExecStart, Proc: proc,
 			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq,
 			Dur: exec, Val: x, Flags: flags})
@@ -775,6 +882,19 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 			Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq, Dur: protoExec})
 	}
 
+	// Reordering: a completion below its stream's watermark finished
+	// after a later arrival of the same stream already did. Distance is
+	// measured in the stream's own arrival numbering.
+	if pkt.StreamSeq > r.streamMaxDone[pkt.Stream] {
+		r.streamMaxDone[pkt.Stream] = pkt.StreamSeq
+	} else {
+		r.reordered++
+		r.streamReordered[pkt.Stream]++
+		if d := r.streamMaxDone[pkt.Stream] - pkt.StreamSeq; d > r.maxReorderDist {
+			r.maxReorderDist = d
+		}
+	}
+
 	if pkt.Arrive >= r.p.Warmup {
 		delay := float64(now - pkt.Arrive)
 		r.delays.Add(delay)
@@ -814,6 +934,9 @@ func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) 
 		return
 	}
 	if next, ok := r.disp.Dispatch(proc); ok {
+		if r.drec != nil {
+			r.decideDispatch(next, proc)
+		}
 		r.beginService(next, proc, false, true, compLocking)
 		return
 	}
@@ -838,11 +961,17 @@ func (r *runner) completeOverflow(pkt sched.Packet, proc int, protoExec float64)
 func (r *runner) dispatchHybrid(proc int) {
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
+		if r.drec != nil {
+			r.decideDispatch(r.stacks[next].q.front(), proc)
+		}
 		r.startStack(next, proc, false)
 		return
 	}
 	if r.overflow.len() > 0 {
 		pkt := r.overflow.pop()
+		if r.drec != nil {
+			r.decideDispatch(pkt, proc)
+		}
 		r.beginService(pkt, proc, false, true, compOverflow)
 		return
 	}
@@ -876,9 +1005,14 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 			st.queued = true
 			r.sdisp.EnqueueStack(k)
 			r.stacks[next].queued = false
+			if r.drec != nil {
+				r.decideDispatch(r.stacks[next].q.front(), proc)
+			}
 			r.startStack(next, proc, false)
 			return
 		}
+		// Continuing the same stack on the same processor is not a
+		// decision: there was no alternative to weigh.
 		r.beginService(st.q.front(), proc, false, false, compIPS)
 		return
 	}
@@ -889,6 +1023,9 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 	}
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
+		if r.drec != nil {
+			r.decideDispatch(r.stacks[next].q.front(), proc)
+		}
 		r.startStack(next, proc, false)
 		return
 	}
@@ -962,8 +1099,13 @@ func (r *runner) results() Results {
 		InFlightAtEnd:  r.inFlight(),
 		SimTime:        now,
 
-		EventsFired:    r.sim.Fired(),
-		RecorderEvents: r.emitted,
+		EventsFired:       r.sim.Fired(),
+		RecorderEvents:    r.emitted,
+		DecisionsRecorded: r.decisions,
+
+		ReorderedTotal:     r.reordered,
+		MaxReorderDistance: r.maxReorderDist,
+		PerStreamReordered: append([]uint64(nil), r.streamReordered...),
 	}
 	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
 	res.DelayOverflow = r.delayHist.OverflowFraction()

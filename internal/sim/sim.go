@@ -159,6 +159,14 @@ type Params struct {
 	// gauge samples (queue depth, event-heap size, displacement
 	// counters) published to Recorder; 0 selects 1 ms.
 	SamplePeriod des.Time
+
+	// DecisionRecorder, when non-nil, receives the decision ledger:
+	// every dispatch decision with the candidate processors it
+	// considered, their predicted warm/cold state and execution cost
+	// (see obs.Decision). Candidate costs come from the same pure model
+	// functions service charging uses, so — like Recorder — a decision
+	// recorder only observes and never perturbs Results.
+	DecisionRecorder obs.DecisionRecorder
 }
 
 // WithDefaults returns a copy with zero fields replaced by defaults.
@@ -319,6 +327,18 @@ type Results struct {
 	Migrations   uint64  // completions on a different processor than last time
 	Spills       uint64  // Hybrid packets diverted to the shared overflow path
 
+	// ReorderedTotal counts completions that finished after a
+	// later-arrived packet of the same stream had already completed —
+	// the per-stream reordering a migrating policy inflicts on TCP-like
+	// flows. MaxReorderDistance is the worst displacement observed, in
+	// packets of the stream's arrival order; PerStreamReordered splits
+	// the count by stream. Policies that serve each stream through one
+	// serial FIFO (Wired-Streams without faults) are zero by
+	// construction.
+	ReorderedTotal     uint64
+	MaxReorderDistance uint64
+	PerStreamReordered []uint64
+
 	// Dropped counts packets that left the system unserved — rejected
 	// by a full bounded queue (MaxQueueDepth) or removed by injected
 	// packet loss; DropFraction is Dropped / Arrivals. Packet
@@ -359,6 +379,9 @@ type Results struct {
 	// Params.Recorder and the trace adapter (0 when both are disabled).
 	EventsFired    uint64
 	RecorderEvents uint64
+	// DecisionsRecorded is the number of decisions published to
+	// Params.DecisionRecorder (0 when none is attached).
+	DecisionsRecorded uint64
 
 	// Obs is the metrics snapshot merged from Params.Recorder when the
 	// recorder chain contains an *obs.Metrics sink; nil otherwise.

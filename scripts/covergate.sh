@@ -3,10 +3,12 @@
 #
 # Runs the test suite with -coverprofile, prints per-package statement
 # coverage, and checks soft floors for the packages whose correctness
-# rests on their tests: internal/sched (every dispatch policy) and
+# rests on their tests: internal/sched (every dispatch policy),
 # internal/live (the concurrent backend, whose differential harness is
-# the cross-validation story). The profile is written to $COVER_OUT
-# (default cover.out) for CI to upload as an artifact.
+# the cross-validation story) and internal/obs (the recorder/ledger
+# layer, whose zero-overhead and round-trip contracts are pure test
+# surface). The profile is written to $COVER_OUT (default cover.out)
+# for CI to upload as an artifact.
 #
 # The floor is soft: a shortfall prints a loud warning and the script
 # still exits 0, so refactors aren't blocked on a percentage point.
@@ -24,15 +26,15 @@ out=${COVER_OUT:-cover.out}
 strict=${COVERGATE_STRICT:-0}
 
 # package → minimum statement coverage, percent
-floors='affinity/internal/sched=90 affinity/internal/live=85'
+floors='affinity/internal/sched=90 affinity/internal/live=85 affinity/internal/obs=90'
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
 
 echo "covergate: running tests with -coverprofile=$out"
 go test -count=1 -coverprofile="$out" \
-    -coverpkg=./internal/sched/...,./internal/live/... \
-    ./internal/sched/... ./internal/live/...
+    -coverpkg=./internal/sched/...,./internal/live/...,./internal/obs/... \
+    ./internal/sched/... ./internal/live/... ./internal/obs/...
 
 # Aggregate the profile per package. Blocks can appear once per test
 # binary (each -coverpkg binary reports every package), so a block
