@@ -44,6 +44,7 @@ import (
 	"affinity/internal/cachesim"
 	"affinity/internal/calib"
 	"affinity/internal/core"
+	"affinity/internal/des"
 	"affinity/internal/exp"
 	"affinity/internal/faults"
 	"affinity/internal/live"
@@ -153,9 +154,68 @@ type (
 	Batch = traffic.Batch
 	// Train is the Jain–Routhier packet-train model.
 	Train = traffic.Train
+	// OnOff modulates a base arrival process with exponential ON/OFF
+	// periods: arrivals flow at the base's rate during ON and pause
+	// during OFF, giving Internet-style burstiness at a controlled
+	// long-run rate.
+	OnOff = traffic.OnOff
 	// ArrivalSpec is any per-stream arrival process description.
 	ArrivalSpec = traffic.Spec
 )
+
+// RetargetRate returns a copy of an arrival spec scaled to a new mean
+// packet rate, preserving its shape (burst length, train geometry,
+// ON/OFF duty cycle).
+func RetargetRate(s ArrivalSpec, rate float64) (ArrivalSpec, error) {
+	return traffic.WithRate(s, rate)
+}
+
+// Workload-spec types (internal/workload): a declarative JSON
+// description of an Internet-realistic client mix — named classes each
+// with a traffic model, stream count, Zipf popularity skew and
+// optional ON/OFF burst modulation — expanded deterministically into
+// per-stream arrival processes (set Params.Workload, or call
+// WorkloadSpec.Generate for the specs); plus arrival-trace record and
+// replay for bit-identical re-execution.
+type (
+	// WorkloadSpec is a parsed workload description.
+	WorkloadSpec = workload.Spec
+	// WorkloadClass is one named client class within a WorkloadSpec.
+	WorkloadClass = workload.Class
+	// ArrivalTrace is a recorded per-stream arrival history.
+	ArrivalTrace = workload.Trace
+	// ArrivalTraceRec is one recorded arrival event.
+	ArrivalTraceRec = workload.TraceRec
+	// Time is simulated time in microseconds (the unit of Params.Warmup,
+	// Params.MaxTime and trace delays).
+	Time = des.Time
+)
+
+// ParseWorkload parses and validates a JSON workload spec.
+func ParseWorkload(data []byte) (*WorkloadSpec, error) { return workload.Parse(data) }
+
+// RecordArrivals wraps per-stream arrival specs so a run captures every
+// draw into the returned trace. Recording runs are never memoized.
+func RecordArrivals(per []ArrivalSpec) ([]ArrivalSpec, *ArrivalTrace) {
+	return workload.Record(per)
+}
+
+// ReplayArrivals returns arrival specs that replay a recorded trace
+// verbatim: the same arrivals, bit-for-bit, on either backend.
+func ReplayArrivals(t *ArrivalTrace) []ArrivalSpec { return workload.Replay(t) }
+
+// SynthesizeTrace draws a trace offline from per-stream specs exactly
+// as a run with the given seed would, covering the horizon.
+func SynthesizeTrace(per []ArrivalSpec, seed int64, horizon Time) *ArrivalTrace {
+	return workload.Synthesize(per, seed, horizon)
+}
+
+// WriteArrivalTrace writes a trace in its text format; ReadArrivalTrace
+// parses it back bit-identically.
+func WriteArrivalTrace(w io.Writer, t *ArrivalTrace) error { return workload.WriteTrace(w, t) }
+
+// ReadArrivalTrace parses a trace written by WriteArrivalTrace.
+func ReadArrivalTrace(r io.Reader) (*ArrivalTrace, error) { return workload.ReadTrace(r) }
 
 // FaultPlan is a deterministic schedule of fault events — processor
 // failures and recoveries, slow-downs, arrival bursts, packet loss —
@@ -246,6 +306,12 @@ func DefaultBackground() NonProtocol { return workload.Default() }
 
 // IdleBackground returns the V = 0 host.
 func IdleBackground() NonProtocol { return workload.Idle() }
+
+// BackgroundWithIntensity returns the default background workload at
+// intensity v in [0, 1], with the preempt cost scaled linearly so the
+// V sweep is continuous through 0: intensity 0 is exactly
+// IdleBackground and intensity 1 exactly DefaultBackground.
+func BackgroundWithIntensity(v float64) NonProtocol { return workload.WithIntensity(v) }
 
 // Calibrate reruns the controlled-cache-state measurements on the cache
 // simulator for the given platform, returning raw and normalized packet

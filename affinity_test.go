@@ -58,8 +58,8 @@ func TestPublicBackgrounds(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	all := affinity.Experiments()
-	if len(all) != 32 {
-		t.Fatalf("Experiments() = %d entries, want 32", len(all))
+	if len(all) != 34 {
+		t.Fatalf("Experiments() = %d entries, want 34", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

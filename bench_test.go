@@ -7,6 +7,7 @@
 package affinity_test
 
 import (
+	"strconv"
 	"testing"
 
 	"affinity"
@@ -15,6 +16,7 @@ import (
 	"affinity/internal/des"
 	"affinity/internal/driver"
 	"affinity/internal/memtrace"
+	"affinity/internal/traffic"
 	"affinity/internal/xkernel"
 	"affinity/internal/xkernel/fddi"
 	"affinity/internal/xkernel/ip"
@@ -68,6 +70,9 @@ func BenchmarkFigE26FaultResilience(b *testing.B)     { benchExperiment(b, "E26"
 func BenchmarkFigE27BoundedQueues(b *testing.B)       { benchExperiment(b, "E27") }
 func BenchmarkFigE28RecoveryTransient(b *testing.B)   { benchExperiment(b, "E28") }
 func BenchmarkFigE29LiveCrossCheck(b *testing.B)      { benchExperiment(b, "E29") }
+func BenchmarkFigE30Reordering(b *testing.B)          { benchExperiment(b, "E30") }
+func BenchmarkFigE31ZipfSkew(b *testing.B)            { benchExperiment(b, "E31") }
+func BenchmarkFigE32BurstReplay(b *testing.B)         { benchExperiment(b, "E32") }
 
 // --- micro-benchmarks ---
 
@@ -172,6 +177,40 @@ func BenchmarkSimulationPerPacket(b *testing.B) {
 	if res.Completed == 0 {
 		b.Fatal("no packets completed")
 	}
+}
+
+func BenchmarkWorkloadSpecPerPacket(b *testing.B) {
+	// Steady-state cost of drawing one arrival from a generated workload
+	// (Zipf-split Poisson, batch, and ON/OFF-modulated CBR streams): the
+	// per-packet hot path of every spec-driven simulation. Drawing must
+	// be allocation-free — setup (parse, generate, build) is outside the
+	// timed region.
+	spec, err := affinity.ParseWorkload([]byte(`{
+		"classes": [
+			{"name": "web", "model": "poisson", "streams": 6, "rate_pps": 4200, "zipf": 1.2},
+			{"name": "bulk", "model": "batch", "streams": 2, "rate_pps": 1800, "mean_burst": 4},
+			{"name": "control", "model": "cbr", "streams": 1, "rate_pps": 100, "on_us": 20000, "off_us": 60000}
+		]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	per, err := spec.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	procs := make([]traffic.Process, len(per))
+	for i, s := range per {
+		procs[i] = s.Build(des.Stream(1, "arrivals-"+strconv.Itoa(i)))
+	}
+	var sink des.Time
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, _ := procs[i%len(procs)].Next()
+		sink += d
+	}
+	_ = sink
 }
 
 func BenchmarkDecisionLedgerPerPacket(b *testing.B) {

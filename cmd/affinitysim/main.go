@@ -7,6 +7,8 @@
 //	affinitysim -paradigm locking -policy mru -streams 16 -rate 2000
 //	affinitysim -paradigm ips -policy wired -streams 16 -stacks 16 -rate 1000
 //	affinitysim -paradigm locking -policy fcfs -rate 1000 -burst 16 -intensity 0.5
+//	affinitysim -spec workload.json -record run.trace
+//	affinitysim -replay run.trace -policy fcfs
 package main
 
 import (
@@ -46,6 +48,9 @@ func main() {
 		rate      = flag.Float64("rate", 1000, "per-stream packet rate (pkt/s)")
 		burst     = flag.Float64("burst", 1, "mean burst size (1 = plain Poisson)")
 		train     = flag.Float64("train", 0, "mean packet-train length (0 = disabled)")
+		specPath  = flag.String("spec", "", "JSON workload spec file (client classes with model, streams, rates, zipf skew, on/off bursts); replaces -rate/-burst/-train and defines the stream count")
+		recPath   = flag.String("record", "", "write the run's arrival trace to this file for later -replay")
+		repPath   = flag.String("replay", "", "replay a recorded arrival trace instead of generating arrivals")
 		intensity = flag.Float64("intensity", 1, "non-protocol workload intensity V in [0,1]")
 		faultSpec = flag.String("faults", "", "fault plan, e.g. \"down:0@500ms,up:0@1.5s,slow:2x0.5@1s,loss:0.01@0s,burst:*x200@2s\"")
 		maxQueue  = flag.Int("maxqueue", 0, "per-queue capacity bound; arrivals beyond it are dropped (0 = unbounded)")
@@ -108,26 +113,89 @@ func main() {
 	default:
 		fail("unknown paradigm %q (locking|ips|hybrid)", *paradigm)
 	}
+	// Arrival selection: a workload spec or a recorded trace replaces
+	// the flag-built single arrival process. Unless -streams was given
+	// explicitly, the spec or trace defines the stream count (an
+	// explicit mismatch is rejected by Validate below).
+	streamsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "streams" {
+			streamsSet = true
+		}
+	})
 	switch {
-	case *train > 1:
+	case *specPath != "" && *repPath != "":
+		fail("-spec and -replay are mutually exclusive")
+	case *recPath != "" && *repPath != "":
+		fail("-record with -replay would only copy the trace")
+	case *specPath != "":
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			fail("reading workload spec: %v", err)
+		}
+		spec, err := affinity.ParseWorkload(data)
+		if err != nil {
+			fail("%v", err)
+		}
+		p.Workload = spec
+		if !streamsSet {
+			p.Streams = 0
+		}
+	case *repPath != "":
+		f, err := os.Open(*repPath)
+		if err != nil {
+			fail("opening trace: %v", err)
+		}
+		trace, err := affinity.ReadArrivalTrace(f)
+		f.Close()
+		if err != nil {
+			fail("%v", err)
+		}
+		p.ArrivalPerStream = affinity.ReplayArrivals(trace)
+		if !streamsSet {
+			p.Streams = len(p.ArrivalPerStream)
+		}
+	case *train != 0:
+		// Any nonzero train length selects the train model; out-of-range
+		// values (below 1, infeasible gaps) are rejected by Validate.
 		p.Arrival = affinity.Train{PacketsPerSec: *rate, MeanTrainLen: *train, IntraGap: 150}
-	case *burst > 1:
+	case *burst != 1:
+		// Likewise for bursts: 0.5 is an error, not silently Poisson.
 		p.Arrival = affinity.Batch{PacketsPerSec: *rate, MeanBurst: *burst}
 	default:
 		p.Arrival = affinity.Poisson{PacketsPerSec: *rate}
 	}
-	bg := affinity.DefaultBackground()
-	bg.Intensity = *intensity
-	if *intensity == 0 {
-		bg = affinity.IdleBackground()
-	}
+	// The preempt cost scales with intensity (continuous through 0);
+	// out-of-range values are rejected by Validate below.
+	bg := affinity.BackgroundWithIntensity(*intensity)
 	p.Background = &bg
-	// Reject invalid configurations (e.g. a fault plan naming a
-	// processor that doesn't exist) with a clean error instead of a
-	// panic from inside the run.
+	// Reject invalid configurations (a fault plan naming a processor
+	// that doesn't exist, a negative rate, a malformed workload spec)
+	// with a clean error instead of a panic from inside the run.
 	defaulted := p.WithDefaults()
 	if err := defaulted.Validate(); err != nil {
 		fail("%v", err)
+	}
+	// -record rewires the validated per-stream arrivals through tee
+	// wrappers that capture every draw; the trace file is written after
+	// the run.
+	var recTrace *affinity.ArrivalTrace
+	if *recPath != "" {
+		per := defaulted.ArrivalPerStream
+		if per == nil {
+			// A single shared arrival spec still draws per-stream (each
+			// stream has its own RNG substream), so record each stream.
+			per = make([]affinity.ArrivalSpec, defaulted.Streams)
+			for i := range per {
+				per[i] = defaulted.Arrival
+			}
+		}
+		wrapped, trace := affinity.RecordArrivals(per)
+		p.Streams = defaulted.Streams
+		p.Arrival = nil
+		p.Workload = nil
+		p.ArrivalPerStream = wrapped
+		recTrace = trace
 	}
 
 	// Observability sinks. cleanup runs explicitly before every exit
@@ -230,6 +298,18 @@ func main() {
 	res := affinity.RunBackend(be, p)
 	for _, fn := range cleanup {
 		fn()
+	}
+	if recTrace != nil {
+		f, err := os.Create(*recPath)
+		if err != nil {
+			fail("creating trace file: %v", err)
+		}
+		if err := affinity.WriteArrivalTrace(f, recTrace); err != nil {
+			fail("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("closing trace file: %v", err)
+		}
 	}
 	if *metOut != "" {
 		if res.Obs == nil {

@@ -153,13 +153,95 @@ func TestCLILiveBackend(t *testing.T) {
 	}
 }
 
+// TestCLIWorkloadSpec runs a committed workload spec through the CLI:
+// the spec defines the stream count (8) and per-stream rates, and the
+// deterministic DES output is golden-checked.
+func TestCLIWorkloadSpec(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-spec", filepath.Join("testdata", "workload.json"),
+		"-packets", "800", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "cli_spec.golden", stdout)
+}
+
+// TestCLIReplayGoldenTrace replays the committed trace fixture (itself
+// recorded from testdata/workload.json) and golden-checks the output:
+// together with TestCLIWorkloadSpec's golden this pins that a recorded
+// run and its replay produce byte-identical results, and that the
+// on-disk trace format stays readable.
+func TestCLIReplayGoldenTrace(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-replay", filepath.Join("testdata", "replay_small.trace"),
+		"-packets", "800", "-seed", "7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// The replayed run must reproduce the recorded run exactly, so the
+	// two tests share one golden file.
+	checkGolden(t, "cli_spec.golden", stdout)
+}
+
+// TestCLIRecordReplayBitIdentical is the end-to-end trip on both
+// backends: record a spec-driven run to a fresh trace, replay it, and
+// require byte-identical JSON results. The fixture spec is continuous
+// (Poisson, some ON/OFF-modulated) on purpose — live runs with batch
+// arrivals race workers at burst instants and are statistically, not
+// bitwise, reproducible (see internal/live).
+func TestCLIRecordReplayBitIdentical(t *testing.T) {
+	for _, backend := range []string{"des", "live"} {
+		trace := filepath.Join(t.TempDir(), "run.trace")
+		rec, stderr, code := run(t, "-backend", backend, "-json",
+			"-spec", filepath.Join("testdata", "workload.json"),
+			"-record", trace, "-packets", "800", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("backend %s record: exit %d, stderr: %s", backend, code, stderr)
+		}
+		if _, err := os.Stat(trace); err != nil {
+			t.Fatalf("backend %s: no trace written: %v", backend, err)
+		}
+		rep, stderr, code := run(t, "-backend", backend, "-json",
+			"-replay", trace, "-packets", "800", "-seed", "7")
+		if code != 0 {
+			t.Fatalf("backend %s replay: exit %d, stderr: %s", backend, code, stderr)
+		}
+		if rec != rep {
+			t.Errorf("backend %s: replayed results differ from the recorded run\nrecorded:\n%s\nreplayed:\n%s",
+				backend, rec, rep)
+		}
+	}
+}
+
 func TestCLIBadFlagsExitOne(t *testing.T) {
+	badSpec := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badSpec, []byte(`{"classes":[{"name":"a","model":"warp","streams":1,"rate_pps":10}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badTrace := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(badTrace, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goodSpec := filepath.Join("testdata", "workload.json")
+	goodTrace := filepath.Join("testdata", "replay_small.trace")
 	cases := [][]string{
 		{"-policy", "nonsense"},
 		{"-paradigm", "nonsense"},
 		{"-backend", "nonsense"},
 		{"-faults", "down:99@1s"},   // processor out of range
 		{"-paradigm", "ips", "-policy", "pools"},
+		{"-burst", "0.5"},           // sub-1 burst must not silently mean Poisson
+		{"-burst", "-1"},
+		{"-train", "0.5"},
+		{"-train", "100", "-rate", "20000"}, // infeasible inter-train gap
+		{"-intensity", "1.5"},
+		{"-intensity", "-0.1"},
+		{"-spec", "/nonexistent/spec.json"},
+		{"-spec", badSpec},
+		{"-replay", badTrace},
+		{"-spec", goodSpec, "-replay", goodTrace}, // mutually exclusive
+		{"-record", "x.trace", "-replay", goodTrace},
+		{"-spec", goodSpec, "-streams", "3"},      // conflicts with spec's 8
 	}
 	for _, args := range cases {
 		_, stderr, code := run(t, args...)

@@ -177,6 +177,8 @@ func All() []Experiment {
 		{"E28", "Recovery-transient length after processor failback", FigE28},
 		{"E29", "Live-backend cross-validation: DES vs goroutine policy orderings", FigE29},
 		{"E30", "Per-stream packet reordering: migrating policies vs Wired-Streams", FigE30},
+		{"E31", "Zipf stream-popularity skew vs affinity benefit", FigE31},
+		{"E32", "Scheduling policies on one replayed ON/OFF burst trace", FigE32},
 	}
 }
 

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePercent parses a "%-suffixed table cell back to a fraction.
+func parsePercent(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("unparseable percentage cell %q", cell)
+	}
+	return v / 100
+}
+
+// TestE31SkewMonotone pins E31's load-bearing claim: the MRU-over-FCFS
+// delay advantage is positive at every Zipf exponent and monotone in
+// the exponent — it shrinks as skew concentrates the aggregate on a
+// hot stream, because dominance hands FCFS incidental affinity. A sign
+// flip or a non-monotone sweep means the workload generator's Zipf
+// split or the policies' affinity accounting broke.
+func TestE31SkewMonotone(t *testing.T) {
+	tb := FigE31(Config{Quick: true, Seed: 1})
+	if len(tb.Rows) != len(e31Skews) {
+		t.Fatalf("E31 has %d rows, want %d", len(tb.Rows), len(e31Skews))
+	}
+	prev := 1.0
+	for _, row := range tb.Rows {
+		adv := parsePercent(t, row[4])
+		if adv <= 0 {
+			t.Errorf("s=%s: MRU advantage %.4f not positive", row[0], adv)
+		}
+		if adv > prev {
+			t.Errorf("s=%s: MRU advantage %.4f rose above %.4f — sweep is not monotone in skew", row[0], adv, prev)
+		}
+		prev = adv
+	}
+	first := parsePercent(t, tb.Rows[0][4])
+	last := parsePercent(t, tb.Rows[len(tb.Rows)-1][4])
+	if first-last < 0.005 {
+		t.Errorf("uniform-to-skewed advantage contrast %.4f < 0.005 — sweep no longer resolves the effect", first-last)
+	}
+}
+
+// TestE32ReplayContrast pins E32's construction: every policy row
+// replays the identical arrival trace, so FCFS and MRU must differ on
+// delay (the contrast is policy-only by construction, and losing it
+// means replay stopped feeding the policies the bursty history), and
+// Wired-Streams must migrate exactly zero packets.
+func TestE32ReplayContrast(t *testing.T) {
+	tb := FigE32(Config{Quick: true, Seed: 1})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E32 has %d rows, want 4", len(tb.Rows))
+	}
+	delays := map[string]float64{}
+	for _, row := range tb.Rows {
+		d, err := strconv.ParseFloat(strings.TrimSuffix(row[1], "*"), 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable delay cell %q", row[0], row[1])
+		}
+		delays[row[0]] = d
+		if row[0] == "WiredStreams" && row[4] != "0" {
+			t.Errorf("WiredStreams migrated %s packets on replay, must be structurally zero", row[4])
+		}
+	}
+	if delays["MRU"] >= delays["FCFS"] {
+		t.Errorf("MRU delay %.1f not better than FCFS %.1f on the shared burst trace", delays["MRU"], delays["FCFS"])
+	}
+}

@@ -33,11 +33,20 @@ import (
 	"affinity/internal/des"
 )
 
-// sleeper is one goroutine blocked until a virtual instant.
+// sleeper is one goroutine blocked until a virtual instant. A keyed
+// sleeper is an ordered event source (an arrival stream): same-instant
+// keyed sleepers are released one at a time in (at, seq) order, each
+// running to its next park before the following one releases, instead
+// of being released together to race. Because arrival sources register
+// their first sleep in stream order and re-register serially under this
+// protocol, a keyed sleeper's seq reproduces the DES event heap's
+// schedule order exactly — the deterministic (stream, seq) tie-break
+// both backends share (see DESIGN.md §10).
 type sleeper struct {
-	at  des.Time
-	seq uint64
-	ch  chan struct{}
+	at    des.Time
+	seq   uint64
+	keyed bool
+	ch    chan struct{}
 }
 
 // clock is the virtual-time coordinator. Every goroutine participating
@@ -124,7 +133,18 @@ func (c *clock) sleep(d des.Time) bool {
 		panic("live: negative sleep")
 	}
 	c.mu.Lock()
-	return c.sleepAtLocked(c.now + d)
+	return c.sleepAtLocked(c.now+d, false)
+}
+
+// sleepKeyed is sleep for ordered event sources: the sleeper releases
+// serially in deterministic (at, seq) order ahead of any same-instant
+// unkeyed sleepers (see the sleeper comment).
+func (c *clock) sleepKeyed(d des.Time) bool {
+	if d < 0 {
+		panic("live: negative sleep")
+	}
+	c.mu.Lock()
+	return c.sleepAtLocked(c.now+d, true)
 }
 
 // sleepUntil blocks the caller until virtual time at (or now, if at is
@@ -134,18 +154,18 @@ func (c *clock) sleepUntil(at des.Time) bool {
 	if at < c.now {
 		at = c.now
 	}
-	return c.sleepAtLocked(at)
+	return c.sleepAtLocked(at, false)
 }
 
 // sleepAtLocked enqueues the caller as a sleeper due at the absolute
 // instant at and blocks until released. Called with mu held; unlocks.
-func (c *clock) sleepAtLocked(at des.Time) bool {
+func (c *clock) sleepAtLocked(at des.Time, keyed bool) bool {
 	if c.stopped {
 		c.mu.Unlock()
 		return false
 	}
 	ch := make(chan struct{})
-	c.heapPush(sleeper{at: at, seq: c.seq, ch: ch})
+	c.heapPush(sleeper{at: at, seq: c.seq, keyed: keyed, ch: ch})
 	c.seq++
 	c.runnable--
 	c.advanceLocked()
@@ -156,6 +176,25 @@ func (c *clock) sleepAtLocked(at des.Time) bool {
 	case <-c.stopCh:
 		return false
 	}
+}
+
+// preSleep registers a keyed sleeper on behalf of a goroutine that has
+// not been spawned (and is not counted runnable) yet; the goroutine
+// must block on the returned channel before doing anything else. The
+// caller registers its event sources in a fixed order before starting
+// any of them, which pins the initial seq assignment — the base case of
+// the keyed determinism induction; racing first-sleeps from the sources
+// themselves would scramble it.
+func (c *clock) preSleep(d des.Time) chan struct{} {
+	if d < 0 {
+		panic("live: negative sleep")
+	}
+	ch := make(chan struct{})
+	c.mu.Lock()
+	c.heapPush(sleeper{at: c.now + d, seq: c.seq, keyed: true, ch: ch})
+	c.seq++
+	c.mu.Unlock()
+	return ch
 }
 
 // parkRecv blocks the caller on ch until a value is handed to it (the
@@ -225,6 +264,19 @@ func (c *clock) advanceLocked() {
 		return
 	}
 	c.now = t
+	// Keyed sleepers sort ahead of same-instant unkeyed ones, so a keyed
+	// top means ordered events are pending at t: release exactly one and
+	// let it run to its next park (runnable returns to zero) before the
+	// next release — the serial, deterministic firing order of the DES
+	// event loop. Only when no keyed sleeper remains at t does the
+	// same-instant unkeyed batch release together to race.
+	if c.sleepers[0].keyed {
+		s := c.heapPop()
+		c.runnable++
+		c.fired++
+		close(s.ch)
+		return
+	}
 	for len(c.sleepers) > 0 && c.sleepers[0].at == t {
 		s := c.heapPop()
 		c.runnable++
@@ -233,8 +285,10 @@ func (c *clock) advanceLocked() {
 	}
 }
 
-// heapPush / heapPop maintain the sleeper min-heap ordered by (at, seq);
-// seq keeps same-instant wake order stable with registration order.
+// heapPush / heapPop maintain the sleeper min-heap ordered by
+// (at, keyed-first, seq); seq keeps same-instant wake order stable with
+// registration order, and keyed (ordered-event) sleepers sort ahead of
+// unkeyed ones at the same instant so advanceLocked can serialize them.
 func (c *clock) heapPush(s sleeper) {
 	c.sleepers = append(c.sleepers, s)
 	i := len(c.sleepers) - 1
@@ -276,6 +330,9 @@ func (c *clock) heapPop() sleeper {
 func sleeperLess(a, b sleeper) bool {
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.keyed != b.keyed {
+		return a.keyed
 	}
 	return a.seq < b.seq
 }

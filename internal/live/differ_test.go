@@ -21,14 +21,17 @@ import (
 // logic breaks the agreement. See DESIGN.md §10.
 
 // delayTolerance is the documented DES↔live relative mean-delay bound
-// at unsaturated operating points. The only divergence source is
-// same-instant event ordering (the live backend resolves virtual-time
-// ties by real goroutine scheduling, the DES by insertion order);
-// measured divergence across paradigms, seeds and tie-heavy arrival
-// processes peaks below 0.4%, so 2% is ~5x headroom. Saturated points
-// are excluded: their means are dominated by backlog growth over the
-// measurement window, not steady-state behavior.
-const delayTolerance = 0.02
+// at unsaturated operating points. Keyed sleepers (clock.go) make the
+// live backend fire same-instant arrivals in the DES's deterministic
+// order, so the only residual divergence source is an arrival tying
+// exactly with a completion or fault event (live releases the keyed
+// arrival first; the DES goes by global insertion order). Measured
+// divergence across paradigms, seeds and tie-heavy arrival processes
+// peaks below 0.05% (batch bursts; CBR and Poisson agree to <0.01%),
+// so 0.5% is ~10x headroom. Saturated points are excluded: their means
+// are dominated by backlog growth over the measurement window, not
+// steady-state behavior.
+const delayTolerance = 0.005
 
 var differSeeds = []int64{1, 2, 3}
 

@@ -329,7 +329,7 @@ func (r *live) decideDispatch(pkt sched.Packet, proc int) {
 // blocks until the run stops (measurement target, horizon, or
 // quiescence) and every goroutine has unwound.
 func (r *live) run() {
-	n := r.p.Processors + r.p.Streams
+	n := r.p.Processors
 	evs := []faults.Event(nil)
 	if !r.p.Faults.Empty() {
 		evs = r.p.Faults.Sorted()
@@ -338,18 +338,34 @@ func (r *live) run() {
 	if r.p.Recorder != nil {
 		n++
 	}
-	r.clk.spawn(n)
-	r.wg.Add(n)
-	for proc := 0; proc < r.p.Processors; proc++ {
-		go r.worker(proc)
+	// Draw every stream's first gap and pre-register its keyed sleeper
+	// here, in stream order, before anything runs: exactly how the DES
+	// runner seeds its event heap, and the base case of the keyed-sleeper
+	// ordering (see clock.go) that makes same-instant arrivals fire in
+	// the DES's deterministic order. The sources start life asleep, so
+	// they are never counted in the runnable spawn below.
+	type armedArrival struct {
+		proc  traffic.Process
+		batch int
+		first chan struct{}
 	}
+	arr := make([]armedArrival, r.p.Streams)
 	for s := 0; s < r.p.Streams; s++ {
 		spec := r.p.Arrival
 		if r.p.ArrivalPerStream != nil {
 			spec = r.p.ArrivalPerStream[s]
 		}
 		proc := spec.Build(des.Stream(r.p.Seed, "arrivals-"+strconv.Itoa(s)))
-		go r.arrivalLoop(s, proc)
+		d, b := proc.Next()
+		arr[s] = armedArrival{proc: proc, batch: b, first: r.clk.preSleep(d)}
+	}
+	r.clk.spawn(n)
+	r.wg.Add(n + r.p.Streams)
+	for proc := 0; proc < r.p.Processors; proc++ {
+		go r.worker(proc)
+	}
+	for s := 0; s < r.p.Streams; s++ {
+		go r.arrivalLoop(s, arr[s].proc, arr[s].batch, arr[s].first)
 	}
 	if evs != nil {
 		go r.faultLoop(evs)
@@ -360,24 +376,34 @@ func (r *live) run() {
 	r.wg.Wait()
 }
 
-// arrivalLoop drives one stream: draw a gap, sleep it on the virtual
-// clock, deliver the batch under the dispatch lock — the same
-// draw-then-deliver cycle as the DES arrival source, on the same
-// seed-derived stream, so both backends see identical arrivals.
-func (r *live) arrivalLoop(stream int, proc traffic.Process) {
+// arrivalLoop drives one stream: deliver the pending batch under the
+// dispatch lock, draw the next gap, sleep it on the virtual clock — the
+// same draw-then-deliver cycle as the DES arrival source, on the same
+// seed-derived stream, so both backends see identical arrivals. The
+// sleeps are keyed (serialized, deterministically ordered at virtual-
+// time ties); the first was pre-registered by run() in stream order.
+func (r *live) arrivalLoop(stream int, proc traffic.Process, batch int, first chan struct{}) {
 	defer r.wg.Done()
+	// Until the pre-registered first sleep releases, this source is a
+	// sleeper, not a runnable: a run that stops first just unwinds with
+	// no exit accounting.
+	select {
+	case <-first:
+	case <-r.clk.stopCh:
+		return
+	}
 	defer r.clk.exit()
-	d, b := proc.Next()
 	for {
-		if !r.clk.sleep(d) {
-			return
-		}
 		r.mu.Lock()
-		for j := 0; j < b; j++ {
+		for j := 0; j < batch; j++ {
 			r.arrive(stream)
 		}
 		r.mu.Unlock()
-		d, b = proc.Next()
+		var d des.Time
+		d, batch = proc.Next()
+		if !r.clk.sleepKeyed(d) {
+			return
+		}
 	}
 }
 

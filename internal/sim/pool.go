@@ -128,6 +128,17 @@ func CacheKey(p Params) (string, bool) {
 		return "", false
 	}
 	p = p.WithDefaults()
+	// Trace-recording arrival specs mutate their trace as the run
+	// draws: serving such a run from the cache would skip the recording
+	// entirely, so it must never be memoized.
+	if specSideEffecting(p.Arrival) {
+		return "", false
+	}
+	for _, s := range p.ArrivalPerStream {
+		if specSideEffecting(s) {
+			return "", false
+		}
+	}
 	var b strings.Builder
 	pl := p.Model.Platform
 	fmt.Fprintf(&b, "plat:%d,%g,%g,%t", pl.Processors, pl.ClockMHz, pl.CyclesPerRef, pl.L1SplitEvenRef)
@@ -146,6 +157,12 @@ func CacheKey(p Params) (string, bool) {
 	}
 	fmt.Fprintf(&b, "|cost:%g,%g,%g,%g", p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch)
 	fmt.Fprintf(&b, "|q:%d,%d,%d", p.HybridOverflow, p.MRULookahead, p.MaxQueueDepth)
+	if p.Workload != nil {
+		// Redundant with the expanded ArrivalPerStream above for specs
+		// that expand, but keeps invalid (unexpandable) specs from
+		// aliasing each other.
+		fmt.Fprintf(&b, "|wspec:%s", p.Workload.String())
+	}
 	fmt.Fprintf(&b, "|faults:%s", p.Faults.String())
 	fmt.Fprintf(&b, "|seed:%d", p.Seed)
 	fmt.Fprintf(&b, "|stop:%g,%d,%g,%g,%d", float64(p.Warmup), p.MeasuredPackets,
@@ -157,7 +174,25 @@ func CacheKey(p Params) (string, bool) {
 // specKey renders an arrival spec canonically: the dynamic type name
 // plus its exported fields by value. %+v dereferences pointer specs to
 // their contents (no addresses), so equal specs always render equally.
-func specKey(s traffic.Spec) string { return fmt.Sprintf("%T%+v", s, s) }
+// A spec carrying reference fields a %+v would render as addresses —
+// trace replay holds a *workload.Trace — must instead provide its own
+// content-addressed identity via CacheID: an address-derived key could
+// alias two different traces once the first is collected and its
+// address reused.
+func specKey(s traffic.Spec) string {
+	if c, ok := s.(interface{ CacheID() string }); ok {
+		return c.CacheID()
+	}
+	return fmt.Sprintf("%T%+v", s, s)
+}
+
+// specSideEffecting reports whether an arrival spec declares that
+// building/running it observably mutates external state (trace
+// recorders do).
+func specSideEffecting(s traffic.Spec) bool {
+	se, ok := s.(interface{ HasSideEffects() bool })
+	return ok && se.HasSideEffects()
+}
 
 // RunMany executes independent simulations concurrently on up to
 // workers goroutines (0 selects GOMAXPROCS) and returns results in input

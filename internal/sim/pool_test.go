@@ -109,6 +109,12 @@ var cacheKeyMutations = map[string]func(*Params){
 			traffic.Poisson{PacketsPerSec: 3}, traffic.Poisson{PacketsPerSec: 4},
 		}
 	},
+	"Workload": func(p *Params) {
+		p.Streams = 0 // let the spec define the stream count
+		p.Workload = &workload.Spec{Classes: []workload.Class{
+			{Name: "w", Model: "poisson", Streams: 4, RatePPS: 900, Zipf: 1.1},
+		}}
+	},
 	"Background":       func(p *Params) { p.Background = &workload.NonProtocol{Intensity: 0.1} },
 	"LockOverhead":     func(p *Params) { p.LockOverhead = 7 },
 	"LockCritFrac":     func(p *Params) { p.LockCritFrac = 0.4 },

@@ -70,6 +70,13 @@ type Params struct {
 	// process (heterogeneous workloads); when set it must have exactly
 	// Streams entries and overrides Arrival.
 	ArrivalPerStream []traffic.Spec
+	// Workload, when non-nil, is a declarative multi-class workload spec
+	// (Zipf-skewed rates, ON/OFF modulation; see internal/workload).
+	// WithDefaults expands it deterministically into ArrivalPerStream
+	// and sets Streams to its total, so both backends derive identical
+	// arrival sequences from one spec file. An explicit ArrivalPerStream
+	// wins; an explicit Streams count must match the spec's total.
+	Workload *workload.Spec
 	// Background is the non-protocol workload (intensity V etc.).
 	// nil selects workload.Default(); use &workload.NonProtocol{} (or
 	// workload.Idle()) for the V = 0 host.
@@ -177,6 +184,15 @@ func (p Params) WithDefaults() Params {
 	if p.Processors == 0 {
 		p.Processors = p.Model.Platform.Processors
 	}
+	if p.Workload != nil && p.ArrivalPerStream == nil {
+		// Expand only when the expansion is coherent; otherwise leave
+		// the fields alone so Validate can report what is wrong.
+		if per, err := p.Workload.Generate(); err == nil &&
+			(p.Streams == 0 || p.Streams == len(per)) {
+			p.ArrivalPerStream = per
+			p.Streams = len(per)
+		}
+	}
 	if p.Streams == 0 {
 		p.Streams = p.Processors
 	}
@@ -262,6 +278,28 @@ func (p Params) Validate() error {
 	if p.ArrivalPerStream != nil && len(p.ArrivalPerStream) != p.Streams {
 		return fmt.Errorf("sim: %d per-stream arrival specs for %d streams",
 			len(p.ArrivalPerStream), p.Streams)
+	}
+	if p.Workload != nil {
+		if err := p.Workload.Validate(); err != nil {
+			return err
+		}
+		if n := p.Workload.TotalStreams(); p.ArrivalPerStream == nil && n != p.Streams {
+			return fmt.Errorf("sim: explicit stream count %d conflicts with workload spec's %d streams",
+				p.Streams, n)
+		}
+	}
+	// Arrival processes are user input (CLI flags, spec files): reject
+	// invalid or infeasible parameters here, pre-run, so they surface as
+	// errors instead of Build panics mid-run.
+	if p.Arrival != nil && p.ArrivalPerStream == nil {
+		if err := p.Arrival.Validate(); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+	}
+	for i, s := range p.ArrivalPerStream {
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("sim: stream %d: %w", i, err)
+		}
 	}
 	if p.LockCritFrac < 0 || p.LockCritFrac > 1 {
 		return fmt.Errorf("sim: lock critical fraction %v outside [0, 1]", p.LockCritFrac)

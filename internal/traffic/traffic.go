@@ -7,6 +7,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 
 	"affinity/internal/des"
 )
@@ -21,12 +22,25 @@ type Process interface {
 // Spec constructs a per-stream arrival process. Implementations are
 // value types carrying parameters; Build instantiates the stochastic
 // state with the stream's own RNG.
+//
+// Specs reach Build from two directions with different error contracts:
+// user input (CLI flags, workload spec files) must be rejected with a
+// descriptive error before the run starts, while programmatic misuse
+// (library code constructing a spec it never validated) stays a panic.
+// Validate is the boundary: sim.Params.Validate calls it on every
+// arrival spec pre-run, so any invalid or infeasible parameterization
+// that came in through a flag or a file surfaces as an error and exit
+// code 1 — Build's panics remain only for callers that skipped it.
 type Spec interface {
 	// Rate returns the long-run packet rate in packets/second, used by
 	// sweeps to label operating points.
 	Rate() float64
 	Build(rng *des.RNG) Process
 	String() string
+	// Validate reports a descriptive error for invalid or infeasible
+	// parameters; a spec whose Validate returns nil never panics in
+	// Build.
+	Validate() error
 }
 
 // interarrival converts packets/second to a mean gap in µs.
@@ -35,6 +49,14 @@ func interarrival(rate float64) des.Time {
 		panic(fmt.Sprintf("traffic: non-positive rate %v", rate))
 	}
 	return des.Time(1e6 / rate)
+}
+
+// checkRate rejects a packet rate that is not a positive finite number.
+func checkRate(kind string, rate float64) error {
+	if !(rate > 0) || math.IsInf(rate, 1) {
+		return fmt.Errorf("traffic: %s rate %v must be a positive finite pkt/s", kind, rate)
+	}
+	return nil
 }
 
 // Poisson is a Poisson arrival process.
@@ -46,6 +68,9 @@ type Poisson struct {
 func (p Poisson) Rate() float64 { return p.PacketsPerSec }
 
 func (p Poisson) String() string { return fmt.Sprintf("poisson(%g pkt/s)", p.PacketsPerSec) }
+
+// Validate implements Spec.
+func (p Poisson) Validate() error { return checkRate("poisson", p.PacketsPerSec) }
 
 // Build implements Spec.
 func (p Poisson) Build(rng *des.RNG) Process {
@@ -68,6 +93,9 @@ type Deterministic struct {
 func (d Deterministic) Rate() float64 { return d.PacketsPerSec }
 
 func (d Deterministic) String() string { return fmt.Sprintf("cbr(%g pkt/s)", d.PacketsPerSec) }
+
+// Validate implements Spec.
+func (d Deterministic) Validate() error { return checkRate("cbr", d.PacketsPerSec) }
 
 // Build implements Spec.
 func (d Deterministic) Build(*des.RNG) Process {
@@ -94,10 +122,22 @@ func (b Batch) String() string {
 	return fmt.Sprintf("batch(%g pkt/s, b=%g)", b.PacketsPerSec, b.MeanBurst)
 }
 
-// Build implements Spec.
+// Validate implements Spec.
+func (b Batch) Validate() error {
+	if err := checkRate("batch", b.PacketsPerSec); err != nil {
+		return err
+	}
+	if !(b.MeanBurst >= 1) || math.IsInf(b.MeanBurst, 1) {
+		return fmt.Errorf("traffic: batch mean burst %v must be a finite value ≥ 1", b.MeanBurst)
+	}
+	return nil
+}
+
+// Build implements Spec. It panics on parameters Validate rejects —
+// programmatic misuse; user-supplied specs are validated pre-run.
 func (b Batch) Build(rng *des.RNG) Process {
-	if b.MeanBurst < 1 {
-		panic(fmt.Sprintf("traffic: mean burst %v below 1", b.MeanBurst))
+	if err := b.Validate(); err != nil {
+		panic(err)
 	}
 	eventRate := b.PacketsPerSec / b.MeanBurst
 	return &batchProc{mean: interarrival(eventRate), burst: b.MeanBurst, rng: rng}
@@ -130,23 +170,40 @@ func (t Train) String() string {
 	return fmt.Sprintf("train(%g pkt/s, len=%g, gap=%v)", t.PacketsPerSec, t.MeanTrainLen, t.IntraGap)
 }
 
-// Build implements Spec.
-func (t Train) Build(rng *des.RNG) Process {
-	if t.MeanTrainLen < 1 {
-		panic(fmt.Sprintf("traffic: mean train length %v below 1", t.MeanTrainLen))
+// interTrain returns the mean inter-train gap that delivers the
+// long-run rate: the mean cycle inter + (len−1)·intraGap must deliver
+// len packets, so inter = len/rate − (len−1)·intraGap.
+func (t Train) interTrain() des.Time {
+	return des.Time(t.MeanTrainLen*1e6/t.PacketsPerSec) - des.Time(t.MeanTrainLen-1)*t.IntraGap
+}
+
+// Validate implements Spec. It rejects infeasible parameterizations —
+// an intra-train gap so large that delivering the long-run rate would
+// need a negative inter-train gap — as well as out-of-range fields.
+func (t Train) Validate() error {
+	if err := checkRate("train", t.PacketsPerSec); err != nil {
+		return err
+	}
+	if !(t.MeanTrainLen >= 1) || math.IsInf(t.MeanTrainLen, 1) {
+		return fmt.Errorf("traffic: mean train length %v must be a finite value ≥ 1", t.MeanTrainLen)
 	}
 	if t.IntraGap < 0 {
-		panic("traffic: negative intra-train gap")
+		return fmt.Errorf("traffic: negative intra-train gap %v", t.IntraGap)
 	}
-	// Mean cycle = inter-train gap + (len-1)·intraGap must deliver
-	// len packets: interTrain = len/rate − (len−1)·intraGap.
-	meanLen := t.MeanTrainLen
-	inter := des.Time(meanLen*1e6/t.PacketsPerSec) - des.Time(meanLen-1)*t.IntraGap
-	if inter <= 0 {
-		panic(fmt.Sprintf("traffic: train params infeasible: rate %v, len %v, gap %v",
-			t.PacketsPerSec, meanLen, t.IntraGap))
+	if t.interTrain() <= 0 {
+		return fmt.Errorf("traffic: train params infeasible: rate %v, len %v, gap %v need a negative inter-train gap",
+			t.PacketsPerSec, t.MeanTrainLen, t.IntraGap)
 	}
-	return &trainProc{interTrain: inter, meanLen: meanLen, gap: t.IntraGap, rng: rng}
+	return nil
+}
+
+// Build implements Spec. It panics on parameters Validate rejects —
+// programmatic misuse; user-supplied specs are validated pre-run.
+func (t Train) Build(rng *des.RNG) Process {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	return &trainProc{interTrain: t.interTrain(), meanLen: t.MeanTrainLen, gap: t.IntraGap, rng: rng}
 }
 
 type trainProc struct {

@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// FuzzWorkloadSpec fuzzes the spec file surface: Validate must never
+// panic on anything the JSON layer decodes (a spec file is user input),
+// and every spec Parse accepts must survive the parse → String → parse
+// round trip identically — the canonical form is self-describing.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add([]byte(sampleSpec))
+	f.Add([]byte(`{"classes":[{"name":"a","model":"poisson","streams":1,"rate_pps":10}]}`))
+	f.Add([]byte(`{"classes":[{"name":"t","model":"train","streams":2,"rate_pps":900,"mean_train_len":5,"intra_gap_us":40,"zipf":1.5}]}`))
+	f.Add([]byte(`{"classes":[{"name":"b","model":"batch","streams":3,"rate_pps":100,"mean_burst":1,"on_us":1000,"off_us":1}]}`))
+	f.Add([]byte(`{"classes":[{"name":"z","model":"cbr","streams":1,"rate_pps":1e308,"zipf":300}]}`))
+	f.Add([]byte(`{"classes":[{"name":"a","model":"poisson","streams":0,"rate_pps":-1,"zipf":-5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Validate must not panic even on specs that skipped Parse's
+		// validation (lenient decode straight into the struct).
+		var raw Spec
+		if json.Unmarshal(data, &raw) == nil {
+			_ = raw.Validate()    // must not panic
+			_, _ = raw.Generate() // must not panic
+		}
+
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Parse implies valid, and valid specs must generate.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec Validate rejects: %v", err)
+		}
+		per, err := s.Generate()
+		if err != nil {
+			t.Fatalf("valid spec failed to generate: %v", err)
+		}
+		if len(per) != s.TotalStreams() {
+			t.Fatalf("generated %d streams, want %d", len(per), s.TotalStreams())
+		}
+		again, err := Parse([]byte(s.String()))
+		if err != nil {
+			t.Fatalf("re-parse of canonical form failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("round trip changed the spec:\n%s\nvs\n%s", s, again)
+		}
+	})
+}

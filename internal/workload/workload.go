@@ -32,13 +32,16 @@ func Idle() NonProtocol {
 	return NonProtocol{Intensity: 0, PreemptCost: 0}
 }
 
-// WithIntensity returns the default configuration at intensity v.
+// WithIntensity returns the default configuration at intensity v. The
+// preempt cost scales linearly with v — at intensity v the background
+// task occupies an otherwise-idle processor a v fraction of the time,
+// so the expected eviction cost a dispatch pays is v·(full cost). That
+// keeps the V sweep continuous through 0: WithIntensity(0) is exactly
+// Idle() and WithIntensity(ε) charges ε·5 µs, not the full 5.
 func WithIntensity(v float64) NonProtocol {
 	n := Default()
 	n.Intensity = v
-	if v == 0 {
-		n.PreemptCost = 0
-	}
+	n.PreemptCost *= v
 	return n
 }
 
