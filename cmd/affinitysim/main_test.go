@@ -96,6 +96,21 @@ func TestCLITextOutput(t *testing.T) {
 	checkGolden(t, "cli_text.golden", stdout)
 }
 
+// TestCLIShardsMatchGolden pins result-invariance end to end: the same
+// run with -shards 4 must reproduce the sequential golden byte for
+// byte, because sharding only parallelizes arrival generation and never
+// changes what is simulated.
+func TestCLIShardsMatchGolden(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-paradigm", "locking", "-policy", "mru",
+		"-rate", "1000", "-packets", "2000", "-seed", "1",
+		"-shards", "4")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "cli_text.golden", stdout)
+}
+
 func TestCLIJSONOutput(t *testing.T) {
 	stdout, stderr, code := run(t, "-json",
 		"-paradigm", "ips", "-policy", "wired", "-streams", "8", "-stacks", "4",
@@ -228,9 +243,9 @@ func TestCLIBadFlagsExitOne(t *testing.T) {
 		{"-policy", "nonsense"},
 		{"-paradigm", "nonsense"},
 		{"-backend", "nonsense"},
-		{"-faults", "down:99@1s"},   // processor out of range
+		{"-faults", "down:99@1s"}, // processor out of range
 		{"-paradigm", "ips", "-policy", "pools"},
-		{"-burst", "0.5"},           // sub-1 burst must not silently mean Poisson
+		{"-burst", "0.5"}, // sub-1 burst must not silently mean Poisson
 		{"-burst", "-1"},
 		{"-train", "0.5"},
 		{"-train", "100", "-rate", "20000"}, // infeasible inter-train gap
@@ -241,7 +256,9 @@ func TestCLIBadFlagsExitOne(t *testing.T) {
 		{"-replay", badTrace},
 		{"-spec", goodSpec, "-replay", goodTrace}, // mutually exclusive
 		{"-record", "x.trace", "-replay", goodTrace},
-		{"-spec", goodSpec, "-streams", "3"},      // conflicts with spec's 8
+		{"-spec", goodSpec, "-streams", "3"}, // conflicts with spec's 8
+		{"-shards", "0"},
+		{"-shards", "-2"},
 	}
 	for _, args := range cases {
 		_, stderr, code := run(t, args...)

@@ -1,0 +1,125 @@
+package des
+
+import (
+	"strconv"
+	"testing"
+)
+
+// chainSource returns a deterministic draw chain: an RNG-driven
+// (delay, batch) sequence, identical every time it is rebuilt from the
+// same seed and name.
+func chainSource(seed int64, name string) func() (Time, int) {
+	rng := Stream(seed, name)
+	return func() (Time, int) {
+		return rng.ExpTime(100), rng.Geometric(2.5)
+	}
+}
+
+// TestPrefetcherMatchesInline is the pipeline's whole contract: for
+// every source, the sequence popped through Next is bit-identical to
+// calling the source inline — across worker counts and ring sizes,
+// including rings small enough to force producer parking.
+func TestPrefetcherMatchesInline(t *testing.T) {
+	const sources, draws = 9, 4000
+	type draw struct {
+		d Time
+		b int
+	}
+	want := make([][]draw, sources)
+	for s := 0; s < sources; s++ {
+		next := chainSource(42, "src-"+strconv.Itoa(s))
+		for i := 0; i < draws; i++ {
+			d, b := next()
+			want[s] = append(want[s], draw{d, b})
+		}
+	}
+	for _, tc := range []struct{ workers, ringCap int }{
+		{1, 256}, {4, 256}, {9, 256}, {16, 256}, {4, 8}, {3, 1},
+	} {
+		fns := make([]func() (Time, int), sources)
+		for s := 0; s < sources; s++ {
+			fns[s] = chainSource(42, "src-"+strconv.Itoa(s))
+		}
+		p := NewPrefetcher(fns, tc.workers, tc.ringCap)
+		// Interleave sources the way the event loop would.
+		for i := 0; i < draws; i++ {
+			for s := 0; s < sources; s++ {
+				d, b := p.Next(s)
+				if w := want[s][i]; d != w.d || b != w.b {
+					p.Close()
+					t.Fatalf("workers=%d cap=%d: source %d draw %d = (%v,%d), want (%v,%d)",
+						tc.workers, tc.ringCap, s, i, d, b, w.d, w.b)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPrefetcherProducerParksAndResumes drains far more draws than the
+// rings hold from a single tiny-ring source, so the producer must park
+// on the full ring and be resumed by consumer low-water signals every
+// few pops; a lost wakeup would deadlock the test.
+func TestPrefetcherProducerParksAndResumes(t *testing.T) {
+	p := NewPrefetcher([]func() (Time, int){chainSource(1, "solo")}, 1, 2)
+	defer p.Close()
+	ref := chainSource(1, "solo")
+	for i := 0; i < 50_000; i++ {
+		d, b := p.Next(0)
+		wd, wb := ref()
+		if d != wd || b != wb {
+			t.Fatalf("draw %d = (%v,%d), want (%v,%d)", i, d, b, wd, wb)
+		}
+	}
+}
+
+// TestPrefetcherCloseWithFullRings: Close must terminate parked
+// producers (the common shutdown state — the run ended while the
+// pipeline was ahead) without the consumer draining anything more.
+func TestPrefetcherCloseWithFullRings(t *testing.T) {
+	fns := make([]func() (Time, int), 4)
+	for i := range fns {
+		fns[i] = chainSource(2, "close-"+strconv.Itoa(i))
+	}
+	p := NewPrefetcher(fns, 2, 16)
+	p.Next(0) // ensure the pipeline is live
+	p.Close() // must not hang (wg.Wait inside)
+}
+
+func TestPrefetcherValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty source list did not panic")
+		}
+	}()
+	NewPrefetcher(nil, 1, 0)
+}
+
+// TestPrefetcherNextZeroAllocs pins the consumer hot path: Next is
+// called once per arrival batch in the sharded runner and must not
+// allocate. The producers don't allocate in steady state either
+// (pre-sized rings, allocation-free RNG draws), so the global
+// allocation counter stays flat.
+func TestPrefetcherNextZeroAllocs(t *testing.T) {
+	fns := make([]func() (Time, int), 4)
+	for i := range fns {
+		fns[i] = chainSource(3, "alloc-"+strconv.Itoa(i))
+	}
+	p := NewPrefetcher(fns, 2, 1024)
+	defer p.Close()
+	var sink Time
+	for i := 0; i < 4096; i++ { // warm every ring
+		d, _ := p.Next(i % 4)
+		sink += d
+	}
+	got := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 64; i++ {
+			d, _ := p.Next(i % 4)
+			sink += d
+		}
+	})
+	_ = sink
+	if got != 0 {
+		t.Errorf("%v allocs per 64 Next calls, want 0", got)
+	}
+}

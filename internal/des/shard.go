@@ -1,0 +1,500 @@
+package des
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a conservative parallel discrete-event engine: event work
+// is partitioned into shards (one per processor/stream group), each
+// with its own pooled event heap, clock and sequence counter, and the
+// shards execute in lockstep time windows of length Lookahead — the
+// minimum latency of any cross-shard interaction, derived by the
+// caller from its cost model (e.g. the cheapest cross-group dispatch).
+//
+// The window protocol is the classic conservative one:
+//
+//  1. floor   = min over shards of their earliest pending event time.
+//  2. horizon = floor + lookahead.
+//  3. Every shard independently fires its events with at < horizon.
+//     Handlers may schedule freely on their own shard (any delay ≥ 0)
+//     and send to other shards only at or beyond the horizon (Send
+//     enforces this), so nothing that happens during the window can
+//     create work inside it — shards cannot affect each other before
+//     the barrier and are safe to drain concurrently.
+//  4. Barrier: the cross-shard messages accumulated in per-shard
+//     outboxes are sorted into canonical (at, source shard, source
+//     send-sequence) order and applied to their target heaps.
+//
+// Within a shard, simultaneous events fire in scheduling order exactly
+// as in Simulator (the heap orders by (at, seq)); across shards,
+// same-timestamp cross messages are tie-broken by (shard, seq) at the
+// barrier, so the target's sequence numbers — and therefore every
+// later tie-break — are assigned identically no matter which worker
+// drained which shard first. Steps 1–4 are functions of event
+// timestamps and shard-local state only, never of the worker count or
+// interleaving, which is why the fired-event sequence (and any state
+// the handlers build) is bit-identical at any Workers setting,
+// including 1. The harness in shard_test.go pins exactly that.
+//
+// The hot path preserves the engine's zero-allocation contract: event
+// nodes come from each shard's own pool, outboxes and the merge buffer
+// are reused across windows, and the worker pool is a fixed set of
+// goroutines released by a generation counter — nothing allocates once
+// the run reaches steady state.
+//
+// Sharded itself must be driven from one goroutine (Run/StepWindow);
+// only handler code inside a window runs concurrently. Close releases
+// the worker goroutines; forgetting it leaks workers ≥ 2 goroutines
+// until process exit.
+type Sharded struct {
+	shards    []Shard
+	lookahead Time
+	horizon   Time // end of the window being (or last) executed
+	windows   uint64
+	stopped   atomic.Bool
+
+	scratch []crossMsg // barrier merge buffer, reused
+	active  []int      // shards with work this window, reused
+
+	// Worker pool: nworkers-1 helper goroutines plus the caller. A
+	// generation bump releases the helpers into the current window;
+	// they claim shards from active via the atomic cursor and count
+	// themselves off on done. Synchronization is spin-then-park: the
+	// helpers busy-wait (yielding) across the short inter-window gap —
+	// merge plus floor scan, microseconds — and only fall back to a
+	// cond park when the engine goes idle, so steady-state windows run
+	// entirely futex-free. (On a loaded host a futex sleep/wake pair
+	// costs tens of microseconds per window — measured at ~40% of the
+	// total CPU budget of a parked-per-window design.)
+	nworkers int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      atomic.Uint64
+	closing  atomic.Bool
+	parkers  atomic.Int32
+	claim    atomic.Int64
+	done     atomic.Int32
+	spawned  bool
+}
+
+// Shard is one partition of a Sharded engine: a private event heap,
+// node pool, clock and an outbox for cross-shard sends. Handlers
+// running on a shard may only touch that shard's state (plus the
+// shard-local application state the caller partitioned).
+type Shard struct {
+	owner    *Sharded
+	id       int
+	sim      *Simulator
+	out      []crossMsg
+	sendSeq  uint64
+	winFired uint64 // events fired in this shard's previous window
+}
+
+// crossMsg is one cross-shard event waiting for the window barrier.
+type crossMsg struct {
+	at  Time
+	seq uint64 // source shard's send sequence
+	src int32
+	to  int32
+	fn  ArgHandler
+	arg any
+}
+
+// cmpCross is the canonical barrier order: time, then source shard,
+// then source send sequence. The triple is unique per message, so the
+// (unstable) sort yields a total, deterministic order.
+func cmpCross(a, b crossMsg) int {
+	switch {
+	case a.at != b.at:
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	case a.src != b.src:
+		return int(a.src - b.src)
+	case a.seq != b.seq:
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// NewSharded returns an engine with the given shard count, conservative
+// lookahead (must be positive — it is the promise that no cross-shard
+// interaction takes less simulated time than this), and worker count.
+// workers is clamped to [1, min(shards, GOMAXPROCS)] — a drain worker
+// is CPU-bound, so workers beyond the core budget only add scheduling
+// overhead, and the clamp never changes results (the fired-event
+// sequence is identical at every worker count). workers = 1 executes
+// windows inline on the calling goroutine and is the reference behavior
+// the parallel modes must reproduce bit for bit.
+func NewSharded(shards int, lookahead Time, workers int) *Sharded {
+	if shards < 1 {
+		panic(fmt.Sprintf("des: shard count %d must be ≥ 1", shards))
+	}
+	if !(lookahead > 0) { // rejects NaN too
+		panic(fmt.Sprintf("des: lookahead %v must be positive", lookahead))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	sh := &Sharded{
+		shards:    make([]Shard, shards),
+		lookahead: lookahead,
+		nworkers:  workers,
+	}
+	sh.cond = sync.NewCond(&sh.mu)
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		s.owner, s.id, s.sim = sh, i, NewSimulator()
+	}
+	return sh
+}
+
+// Shards returns the shard count.
+func (sh *Sharded) Shards() int { return len(sh.shards) }
+
+// Workers returns the effective worker count.
+func (sh *Sharded) Workers() int { return sh.nworkers }
+
+// Lookahead returns the conservative window length.
+func (sh *Sharded) Lookahead() Time { return sh.lookahead }
+
+// Windows returns how many time windows have executed.
+func (sh *Sharded) Windows() uint64 { return sh.windows }
+
+// Shard returns shard i for scheduling and inspection.
+func (sh *Sharded) Shard(i int) *Shard { return &sh.shards[i] }
+
+// Fired returns the total events executed across all shards.
+func (sh *Sharded) Fired() uint64 {
+	var n uint64
+	for i := range sh.shards {
+		n += sh.shards[i].sim.fired
+	}
+	return n
+}
+
+// Pending returns the total events scheduled and not yet fired.
+func (sh *Sharded) Pending() int {
+	n := 0
+	for i := range sh.shards {
+		n += len(sh.shards[i].sim.events)
+	}
+	return n
+}
+
+// Now returns the global virtual-time floor: the earliest pending event
+// time, or the end of the last window when no events remain.
+func (sh *Sharded) Now() Time {
+	if f := sh.floor(); !math.IsInf(float64(f), 1) {
+		return f
+	}
+	return sh.horizon
+}
+
+// Stop makes the engine halt at the next window boundary. It is safe to
+// call from handlers (which run concurrently during a window); the
+// current window always completes, so the set of fired events stays
+// deterministic — stopping is all-or-nothing per window.
+func (sh *Sharded) Stop() { sh.stopped.Store(true) }
+
+// floor returns the earliest pending event time, +Inf when idle.
+func (sh *Sharded) floor() Time {
+	floor := Time(math.Inf(1))
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		if len(s.sim.events) > 0 && s.sim.events[0].at < floor {
+			floor = s.sim.events[0].at
+		}
+	}
+	return floor
+}
+
+// StepWindow executes one conservative time window and reports whether
+// any events remained to run. Must be called from a single goroutine.
+func (sh *Sharded) StepWindow() bool {
+	if sh.stopped.Load() {
+		return false
+	}
+	floor := sh.floor()
+	if math.IsInf(float64(floor), 1) {
+		return false
+	}
+	horizon := floor + sh.lookahead
+	sh.horizon = horizon
+	sh.active = sh.active[:0]
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		if len(s.sim.events) > 0 && s.sim.events[0].at < horizon {
+			sh.active = append(sh.active, i)
+		}
+	}
+	if sh.nworkers <= 1 || len(sh.active) == 1 {
+		for _, id := range sh.active {
+			sh.shards[id].runWindow(horizon)
+		}
+	} else {
+		sh.sortActiveByLoad()
+		sh.runParallel()
+	}
+	sh.mergeOutboxes()
+	sh.windows++
+	return true
+}
+
+// spinBudget bounds how many yield iterations a helper burns waiting
+// for the next window before parking on the cond. The inter-window gap
+// it must bridge (outbox merge + floor scan) is microseconds, far under
+// the budget, so parking only happens when the engine goes idle.
+const spinBudget = 2000
+
+// runParallel drains the active shards on the worker pool. The caller
+// participates, so nworkers-1 helpers suffice; they are spawned once
+// and re-released each window by a generation bump (no per-window
+// goroutines, channels or allocations — and, in steady state, no futex
+// traffic: the release is an atomic store the spinning helpers observe,
+// and completion is an atomic count the caller spins on).
+func (sh *Sharded) runParallel() {
+	if !sh.spawned {
+		for i := 0; i < sh.nworkers-1; i++ {
+			go sh.workerLoop()
+		}
+		sh.spawned = true
+	}
+	sh.claim.Store(0)
+	sh.done.Store(0)
+	sh.gen.Add(1)
+	// A helper that exhausted its spin budget parks on the cond; the
+	// parkers counter is incremented before it re-checks gen (both
+	// sequentially consistent), so either the helper sees the new
+	// generation and skips the wait, or this load sees it parked and
+	// the broadcast wakes it.
+	if sh.parkers.Load() > 0 {
+		sh.mu.Lock()
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+	sh.drainActive()
+	helpers := int32(sh.nworkers - 1)
+	for sh.done.Load() != helpers {
+		runtime.Gosched()
+	}
+}
+
+func (sh *Sharded) workerLoop() {
+	seen := uint64(0)
+	for {
+		g, ok := sh.awaitRelease(seen)
+		if !ok {
+			return
+		}
+		seen = g
+		sh.drainActive()
+		sh.done.Add(1)
+	}
+}
+
+// awaitRelease returns the next window generation (spinning first,
+// parking when the engine sits idle) or ok = false once the engine is
+// closing.
+func (sh *Sharded) awaitRelease(seen uint64) (gen uint64, ok bool) {
+	for spin := 0; ; spin++ {
+		if sh.closing.Load() {
+			return 0, false
+		}
+		if g := sh.gen.Load(); g != seen {
+			return g, true
+		}
+		if spin < spinBudget {
+			runtime.Gosched()
+			continue
+		}
+		sh.mu.Lock()
+		sh.parkers.Add(1)
+		if sh.gen.Load() == seen && !sh.closing.Load() {
+			sh.cond.Wait()
+		}
+		sh.parkers.Add(-1)
+		sh.mu.Unlock()
+		spin = 0
+	}
+}
+
+// sortActiveByLoad orders the window's active shards by descending
+// fired-count in their previous window — longest-processing-time-first
+// claiming, which keeps the drain's straggler tail short under skewed
+// (e.g. Zipf) per-shard load. Insertion sort: the order is nearly
+// stable from window to window and the hot path must not allocate.
+// Ties keep ascending shard order. Claim order never affects results —
+// shards are independent inside a window — only load balance.
+func (sh *Sharded) sortActiveByLoad() {
+	a := sh.active
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		w := sh.shards[x].winFired
+		j := i - 1
+		for j >= 0 && sh.shards[a[j]].winFired < w {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// drainActive claims shards off the active list until none remain.
+func (sh *Sharded) drainActive() {
+	for {
+		i := int(sh.claim.Add(1)) - 1
+		if i >= len(sh.active) {
+			return
+		}
+		sh.shards[sh.active[i]].runWindow(sh.horizon)
+	}
+}
+
+// mergeOutboxes applies the window's cross-shard messages in canonical
+// order. Runs after all shards have drained (single goroutine again).
+func (sh *Sharded) mergeOutboxes() {
+	sh.scratch = sh.scratch[:0]
+	for i := range sh.shards {
+		s := &sh.shards[i]
+		sh.scratch = append(sh.scratch, s.out...)
+		for j := range s.out {
+			s.out[j] = crossMsg{} // drop fn/arg references
+		}
+		s.out = s.out[:0]
+	}
+	if len(sh.scratch) > 1 {
+		slices.SortFunc(sh.scratch, cmpCross)
+	}
+	for i := range sh.scratch {
+		m := &sh.scratch[i]
+		sh.shards[m.to].sim.ScheduleArgAt(m.at, m.fn, m.arg)
+		sh.scratch[i] = crossMsg{}
+	}
+}
+
+// Run executes windows until no events remain or Stop is called.
+func (sh *Sharded) Run() {
+	for sh.StepWindow() {
+	}
+}
+
+// RunUntil executes whole windows while the next window's floor lies at
+// or before horizon. Because windows are all-or-nothing, events between
+// the last window's end and horizon may fire too — RunUntil bounds the
+// run but, unlike Simulator.RunUntil, is not an exact clock cut.
+func (sh *Sharded) RunUntil(horizon Time) {
+	for !sh.stopped.Load() {
+		f := sh.floor()
+		if math.IsInf(float64(f), 1) || f > horizon {
+			return
+		}
+		sh.StepWindow()
+	}
+}
+
+// Close releases the worker goroutines. The engine remains usable with
+// workers = 1 semantics afterward; Close is idempotent.
+func (sh *Sharded) Close() {
+	sh.closing.Store(true)
+	sh.mu.Lock()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+	sh.nworkers = 1
+	sh.spawned = false
+}
+
+// ID returns the shard's index.
+func (s *Shard) ID() int { return s.id }
+
+// Now returns the shard's local clock.
+func (s *Shard) Now() Time { return s.sim.now }
+
+// Fired returns the events this shard has executed.
+func (s *Shard) Fired() uint64 { return s.sim.fired }
+
+// Pending returns the shard's scheduled-and-unfired event count.
+func (s *Shard) Pending() int { return len(s.sim.events) }
+
+// PoolFree exposes the shard's recycled-node count (diagnostic).
+func (s *Shard) PoolFree() int { return s.sim.PoolFree() }
+
+// Schedule runs h on this shard after delay (shard-local, any delay ≥ 0).
+func (s *Shard) Schedule(delay Time, h Handler) EventRef { return s.sim.Schedule(delay, h) }
+
+// ScheduleAt runs h on this shard at absolute time at.
+func (s *Shard) ScheduleAt(at Time, h Handler) EventRef { return s.sim.ScheduleAt(at, h) }
+
+// ScheduleArg runs fn(arg) on this shard after delay — the zero-alloc
+// variant, exactly as on Simulator.
+func (s *Shard) ScheduleArg(delay Time, fn ArgHandler, arg any) EventRef {
+	return s.sim.ScheduleArg(delay, fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) on this shard at absolute time at.
+func (s *Shard) ScheduleArgAt(at Time, fn ArgHandler, arg any) EventRef {
+	return s.sim.ScheduleArgAt(at, fn, arg)
+}
+
+// Cancel removes a shard-local scheduled event. Only the shard that
+// scheduled an event may cancel it, and only from its own handlers (or
+// between windows).
+func (s *Shard) Cancel(r EventRef) { s.sim.Cancel(r) }
+
+// Send schedules fn(arg) on shard to at the sender's local now + delay.
+// Cross-shard sends must land at or beyond the current window horizon —
+// the conservative contract that makes concurrent window execution
+// safe — so delay must be at least the engine lookahead whenever the
+// sender's clock sits at the window floor, and Send panics on a
+// violation rather than silently racing. A send to the shard itself is
+// an ordinary local schedule.
+func (s *Shard) Send(to int, delay Time, fn ArgHandler, arg any) {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	if to < 0 || to >= len(s.owner.shards) {
+		panic(fmt.Sprintf("des: send to shard %d of %d", to, len(s.owner.shards)))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	at := s.sim.now + delay
+	if to == s.id {
+		s.sim.ScheduleArgAt(at, fn, arg)
+		return
+	}
+	if at < s.owner.horizon {
+		panic(fmt.Sprintf(
+			"des: cross-shard send at %v lands inside the current window (horizon %v) — below the %v lookahead",
+			at, s.owner.horizon, s.owner.lookahead))
+	}
+	s.out = append(s.out, crossMsg{
+		at: at, seq: s.sendSeq, src: int32(s.id), to: int32(to), fn: fn, arg: arg,
+	})
+	s.sendSeq++
+}
+
+// runWindow fires this shard's events strictly before horizon.
+func (s *Shard) runWindow(horizon Time) {
+	sim := s.sim
+	f0 := sim.fired
+	for len(sim.events) > 0 && sim.events[0].at < horizon {
+		sim.Step()
+	}
+	s.winFired = sim.fired - f0
+}

@@ -2,6 +2,7 @@ package live_test
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"affinity/internal/exp"
@@ -38,10 +39,19 @@ var differSeeds = []int64{1, 2, 3}
 // runBoth executes the same Params on both backends and checks the
 // shared invariants plus the exact cross-backend agreements: identical
 // admitted arrivals (same seed-derived arrival RNG streams) and a
-// conserved ledger on each side.
+// conserved ledger on each side. The DES side additionally runs with
+// Shards=4 and must reproduce the sequential Results bit for bit, so
+// every cross-backend agreement in this harness is simultaneously a
+// shard-invariance check (the live backend ignores Shards).
 func runBoth(t *testing.T, p sim.Params) (des, lv sim.Results) {
 	t.Helper()
 	des = sim.Run(p)
+	sharded := p
+	sharded.Shards = 4
+	if got := sim.Run(sharded); !reflect.DeepEqual(des, got) {
+		t.Errorf("%s/%s seed=%d: DES results differ at Shards=4 — sharding must be invisible",
+			p.Paradigm, p.Policy, p.Seed)
+	}
 	lv = live.Run(p)
 	for _, r := range []struct {
 		backend string

@@ -102,6 +102,7 @@ type runner struct {
 	lastProcOf []int    // entity → processor of previous completion, -1 unknown
 
 	sources     []arrivalSource // one per stream, scheduled by pointer
+	pipe        *des.Prefetcher // Shards>1: arrival draw pipeline (shard.go)
 	idleScratch []int           // reused by idleProcs
 	svcFree     []*svc          // recycled per-packet service records
 
@@ -430,6 +431,7 @@ func (r *runner) start() {
 		r.sim.ScheduleArg(r.p.SamplePeriod, gaugeSample, r)
 	}
 	r.sources = make([]arrivalSource, r.p.Streams)
+	pipe := r.buildPrefetch() // nil unless Params.Shards asks for K > 1
 	for s := 0; s < r.p.Streams; s++ {
 		spec := r.p.Arrival
 		if r.p.ArrivalPerStream != nil {
@@ -437,7 +439,11 @@ func (r *runner) start() {
 		}
 		src := &r.sources[s]
 		src.r, src.stream = r, s
-		src.proc = spec.Build(des.Stream(r.p.Seed, arrivalsName(s)))
+		if pipe != nil {
+			src.proc = prefetchProc{p: pipe, src: s}
+		} else {
+			src.proc = spec.Build(des.Stream(r.p.Seed, arrivalsName(s)))
+		}
 		d, b := src.proc.Next()
 		src.pending = b
 		r.sim.ScheduleArg(d, arrivalFire, src)

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"affinity/internal/des"
+	"affinity/internal/faults"
+	"affinity/internal/sched"
+	"affinity/internal/traffic"
+	"affinity/internal/workload"
+)
+
+// The sharded runner's acceptance story is test-first: Params.Shards
+// may change how a run executes (K pipeline workers precomputing
+// arrival draws) but never what it computes. These tests hold
+// bit-identical Results against the K=1 runner over the policy ×
+// fault-plan × workload-spec matrix, re-assert the PR-3/PR-4
+// invariants under K>1, and give the -race runs a concurrent sweep.
+
+// shardCase is one point of the differential matrix.
+type shardCase struct {
+	name string
+	p    Params
+}
+
+func shardMatrix() []shardCase {
+	combos := []struct {
+		paradigm Paradigm
+		policy   sched.Kind
+	}{
+		{Locking, sched.FCFS},
+		{Locking, sched.MRU},
+		{Locking, sched.ThreadPools},
+		{IPS, sched.IPSWired},
+		{IPS, sched.IPSMRU},
+		{Hybrid, sched.IPSMRU},
+	}
+	arrivals := []struct {
+		name  string
+		apply func(*Params)
+	}{
+		{"poisson", func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 1500} }},
+		{"batch", func(p *Params) { p.Arrival = traffic.Batch{PacketsPerSec: 1200, MeanBurst: 4} }},
+		{"zipf-spec", func(p *Params) {
+			p.Streams = 0
+			p.Workload = &workload.Spec{Classes: []workload.Class{
+				{Name: "web", Model: "poisson", Streams: 6, RatePPS: 4000, Zipf: 1.2},
+				{Name: "cbr", Model: "cbr", Streams: 2, RatePPS: 300, OnUS: 20000, OffUS: 40000},
+			}}
+		}},
+	}
+	plans := []struct {
+		name  string
+		apply func(*Params)
+	}{
+		{"healthy", func(*Params) {}},
+		{"faulted", func(p *Params) {
+			p.Faults = downWindow().WithLoss(150*des.Millisecond, 0.02)
+			p.MaxQueueDepth = 48
+		}},
+	}
+	var cases []shardCase
+	for i, c := range combos {
+		// Pair each paradigm/policy with one arrival kind and cycle the
+		// fault plans, so every axis value appears without running the
+		// full cross product on every test invocation.
+		arr := arrivals[i%len(arrivals)]
+		for _, pl := range plans {
+			p := quick(c.paradigm, c.policy)
+			p.MeasuredPackets = 1200
+			arr.apply(&p)
+			pl.apply(&p)
+			cases = append(cases, shardCase{
+				name: c.paradigm.String() + "/" + c.policy.String() + "/" + arr.name + "/" + pl.name,
+				p:    p,
+			})
+		}
+	}
+	return cases
+}
+
+// TestShardEquivalenceMatrix is the differential runner test: for every
+// matrix point, Results at K ∈ {2, 4, 8} must equal the sequential
+// runner's bit for bit — reflect.DeepEqual over the full Results
+// struct, slices and all.
+func TestShardEquivalenceMatrix(t *testing.T) {
+	for _, tc := range shardMatrix() {
+		base := Run(tc.p)
+		if base.Arrivals == 0 {
+			t.Fatalf("%s: matrix point saw no arrivals", tc.name)
+		}
+		for _, k := range []int{2, 4, 8} {
+			p := tc.p
+			p.Shards = k
+			got := Run(p)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: K=%d diverged from the sequential runner\n seq: %+v\n K=%d: %+v",
+					tc.name, k, base, k, got)
+			}
+		}
+	}
+}
+
+// TestShardedConservation re-asserts the PR-4 four-term ledger under
+// K>1: arrivals = completed + in-flight + queued + dropped on every
+// conservation sweep point, now with the arrival pipeline on.
+func TestShardedConservation(t *testing.T) {
+	for _, p := range conservationCases() {
+		p.Shards = 4
+		if err := CheckInvariants(Run(p)); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestShardedEmptyFaultPlanNoOp composes shard-count invariance with
+// the PR-4 no-op invariant: an empty plan and a zero queue bound under
+// K=4 reproduce the healthy sequential run bit for bit.
+func TestShardedEmptyFaultPlanNoOp(t *testing.T) {
+	p := quick(Locking, sched.MRU)
+	base := Run(p)
+	p.Shards = 4
+	p.Faults = &faults.Plan{}
+	p.MaxQueueDepth = 0
+	if got := Run(p); !reflect.DeepEqual(base, got) {
+		t.Error("empty fault plan + K=4 diverged from the healthy sequential run")
+	}
+}
+
+// TestShardedZeroReloadTransientEquivalence composes shard-count
+// invariance with the PR-3 E8 invariant: with a flat cost model,
+// MRU and FCFS coincide — and they must still coincide when both run
+// through the K=4 pipeline.
+func TestShardedZeroReloadTransientEquivalence(t *testing.T) {
+	run := func(policy sched.Kind) Results {
+		p := quick(Locking, policy)
+		p.Model = flatModel()
+		p.Arrival = traffic.Poisson{PacketsPerSec: 2000}
+		p.MeasuredPackets = 5000
+		p.Shards = 4
+		return Run(p)
+	}
+	fcfs := run(sched.FCFS)
+	mru := run(sched.MRU)
+	if fcfs.MeanService != mru.MeanService {
+		t.Errorf("flat model, K=4: MeanService FCFS %v != MRU %v",
+			fcfs.MeanService, mru.MeanService)
+	}
+	relDiff := math.Abs(fcfs.MeanDelay-mru.MeanDelay) /
+		math.Max(fcfs.MeanDelay, mru.MeanDelay)
+	if relDiff > 0.005 {
+		t.Errorf("flat model, K=4: MeanDelay FCFS %v vs MRU %v (rel diff %v)",
+			fcfs.MeanDelay, mru.MeanDelay, relDiff)
+	}
+}
+
+// TestShardedSideEffectingSpecsFallBack: a recording run must capture
+// exactly the draws it consumes, so Shards>1 silently falls back to
+// inline draws — and the recorded trace stays identical to the
+// sequential run's.
+func TestShardedRecordFallsBack(t *testing.T) {
+	record := func(k int) *workload.Trace {
+		p := quick(Locking, sched.MRU)
+		p.MeasuredPackets = 600
+		per := make([]traffic.Spec, 8)
+		for i := range per {
+			per[i] = p.Arrival
+		}
+		wrapped, trace := workload.Record(per)
+		p.ArrivalPerStream = wrapped
+		p.Shards = k
+		Run(p)
+		return trace
+	}
+	seq, sharded := record(0), record(4)
+	if !reflect.DeepEqual(seq, sharded) {
+		t.Error("recorded trace differs between sequential and Shards=4 runs")
+	}
+}
+
+// TestShardedPoolRace is the -race workload: a concurrent sweep
+// (sim.Pool × K>1), many runners with live pipelines at once, checked
+// against the sequential results.
+func TestShardedPoolRace(t *testing.T) {
+	params := make([]Params, 6)
+	for i := range params {
+		p := quick(Locking, sched.MRU)
+		p.Seed = int64(i + 1)
+		p.MeasuredPackets = 600
+		params[i] = p
+	}
+	want := make([]Results, len(params))
+	for i, p := range params {
+		want[i] = Run(p)
+	}
+	pl := NewPool(4)
+	pl.SetShards(4)
+	got := pl.RunAll(params)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("Pool(4)×Shards=4 sweep diverged from sequential runs")
+	}
+}
+
+// TestPoolSetShardsRespectsExplicitCount: Params that set their own
+// shard count keep it through the pool override.
+func TestPoolSetShardsRespectsExplicitCount(t *testing.T) {
+	p := quick(Locking, sched.MRU)
+	p.MeasuredPackets = 300
+	base := Run(p)
+	p.Shards = 2
+	pl := NewPool(1)
+	pl.SetShards(8)
+	if got := pl.Run(p); !reflect.DeepEqual(base, got) {
+		t.Error("explicit Shards=2 through SetShards(8) pool diverged")
+	}
+}
+
+// TestShardsValidation: negative counts are rejected, huge counts are
+// harmless (clamped to the stream count by the pipeline).
+func TestShardsValidation(t *testing.T) {
+	p := quick(Locking, sched.MRU).WithDefaults()
+	p.Shards = -1
+	if err := p.Validate(); err == nil {
+		t.Error("negative shard count validated")
+	}
+	p = quick(Locking, sched.MRU)
+	base := Run(p)
+	p.Shards = 512 // far beyond the 8 streams
+	if got := Run(p); !reflect.DeepEqual(base, got) {
+		t.Error("oversized shard count diverged")
+	}
+}
+
+// FuzzShardEquivalence fuzzes (seed, paradigm/policy/arrival combo,
+// shard count, fault plan, queue bound) and asserts bit-identical
+// Results against the K=1 runner. The checked-in corpus under
+// testdata/fuzz covers each paradigm, a fault plan and a bounded
+// queue; CI gives the fuzzer 30s per run on top.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(0), byte(0), byte(0), byte(0))
+	f.Add(int64(7), byte(4), byte(2), byte(1), byte(16))
+	f.Add(int64(42), byte(11), byte(6), byte(2), byte(48))
+	f.Add(int64(9), byte(14), byte(1), byte(1), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, combo, shards, fault, qbound byte) {
+		policies := []struct {
+			paradigm Paradigm
+			policy   sched.Kind
+		}{
+			{Locking, sched.FCFS},
+			{Locking, sched.MRU},
+			{Locking, sched.ThreadPools},
+			{IPS, sched.IPSWired},
+			{IPS, sched.IPSMRU},
+			{Hybrid, sched.IPSMRU},
+		}
+		c := policies[int(combo)%len(policies)]
+		p := quick(c.paradigm, c.policy)
+		p.Seed = seed
+		p.MeasuredPackets = 400
+		p.MaxTime = 10 * des.Second
+		switch (int(combo) / len(policies)) % 3 {
+		case 1:
+			p.Arrival = traffic.Batch{PacketsPerSec: 1000, MeanBurst: 3}
+		case 2:
+			p.Streams = 0
+			p.Workload = &workload.Spec{Classes: []workload.Class{
+				{Name: "w", Model: "poisson", Streams: 5, RatePPS: 3000, Zipf: 1.1},
+			}}
+		}
+		switch int(fault) % 3 {
+		case 1:
+			p.Faults = downWindow()
+		case 2:
+			p.Faults = downWindow().WithLoss(150*des.Millisecond, 0.05)
+		}
+		p.MaxQueueDepth = int(qbound) % 64
+		k := 2 + int(shards)%7 // K ∈ [2, 8]
+
+		base := Run(p)
+		p.Shards = k
+		got := Run(p)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("K=%d diverged from sequential runner\nparams: %+v\n seq: %+v\n shard: %+v",
+				k, p, base, got)
+		}
+	})
+}

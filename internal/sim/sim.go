@@ -117,6 +117,22 @@ type Params struct {
 
 	Seed int64
 
+	// Shards selects the sharded runner: with K > 1 the per-stream
+	// arrival draw chains are partitioned across K pipeline workers
+	// that precompute (delay, batch) draws into per-stream rings ahead
+	// of the event loop (see internal/des.Prefetcher and DESIGN.md
+	// §12). Each chain is an autonomous source with no in-edges from
+	// the rest of the simulation, so its draws are computed by exactly
+	// one worker in chain order and Results are bit-identical at any K
+	// — which is why shard count is deliberately excluded from
+	// CacheKey: same results, same cache entry. 0 and 1 run fully
+	// sequentially. Runs whose arrival specs have side effects (trace
+	// recording) fall back to sequential draws so the recorded trace
+	// captures exactly the draws the run consumed, never speculative
+	// read-ahead. The live backend executes on real goroutines already
+	// and ignores this knob.
+	Shards int
+
 	// Warmup discards packets that arrive before this time; measurement
 	// runs until MeasuredPackets have completed or MaxTime is reached.
 	Warmup          des.Time
@@ -324,6 +340,9 @@ func (p Params) Validate() error {
 	if p.MaxQueueDepth < 0 {
 		return fmt.Errorf("sim: negative max queue depth %d", p.MaxQueueDepth)
 	}
+	if p.Shards < 0 {
+		return fmt.Errorf("sim: negative shard count %d", p.Shards)
+	}
 	if err := p.Faults.Validate(p.Processors, p.Streams); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
@@ -496,5 +515,7 @@ func Run(p Params) Results {
 	r := newRunner(p)
 	r.start()
 	r.sim.RunUntil(p.MaxTime)
-	return r.results()
+	res := r.results()
+	r.close()
+	return res
 }

@@ -5,10 +5,12 @@
 # coverage, and checks soft floors for the packages whose correctness
 # rests on their tests: internal/sched (every dispatch policy),
 # internal/live (the concurrent backend, whose differential harness is
-# the cross-validation story) and internal/obs (the recorder/ledger
+# the cross-validation story), internal/obs (the recorder/ledger
 # layer, whose zero-overhead and round-trip contracts are pure test
-# surface). The profile is written to $COVER_OUT (default cover.out)
-# for CI to upload as an artifact.
+# surface) and internal/des (the sharded parallel engine, whose
+# any-K determinism rests on its differential and fuzz harness). The
+# profile is written to $COVER_OUT (default cover.out) for CI to
+# upload as an artifact.
 #
 # The floor is soft: a shortfall prints a loud warning and the script
 # still exits 0, so refactors aren't blocked on a percentage point.
@@ -26,15 +28,15 @@ out=${COVER_OUT:-cover.out}
 strict=${COVERGATE_STRICT:-0}
 
 # package → minimum statement coverage, percent
-floors='affinity/internal/sched=90 affinity/internal/live=85 affinity/internal/obs=90'
+floors='affinity/internal/sched=90 affinity/internal/live=85 affinity/internal/obs=90 affinity/internal/des=85'
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
 
 echo "covergate: running tests with -coverprofile=$out"
 go test -count=1 -coverprofile="$out" \
-    -coverpkg=./internal/sched/...,./internal/live/...,./internal/obs/... \
-    ./internal/sched/... ./internal/live/... ./internal/obs/...
+    -coverpkg=./internal/sched/...,./internal/live/...,./internal/obs/...,./internal/des/... \
+    ./internal/sched/... ./internal/live/... ./internal/obs/... ./internal/des/...
 
 # Aggregate the profile per package. Blocks can appear once per test
 # binary (each -coverpkg binary reports every package), so a block
