@@ -51,6 +51,7 @@ import (
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/sim"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 	"affinity/internal/workload"
 )
@@ -141,7 +142,32 @@ const (
 	// IPSRandom places ready stacks on random idle processors (the IPS
 	// no-affinity baseline).
 	IPSRandom = sched.IPSRandom
+	// RSS hashes each stream to a processor through a static NIC-style
+	// indirection table (receive-side scaling): perfect affinity, no
+	// rebalancing, never reorders a stream.
+	RSS = sched.RSS
+	// FlowDirector is RSS plus a hardware-style flow table that re-homes
+	// a stream when its processor's queue backs up — trading in-flight
+	// packet reordering for load balance.
+	FlowDirector = sched.FlowDirector
 )
+
+// Topology describes the machine as sockets × cores with per-level
+// reload-transient multipliers: a packet migrating within a socket pays
+// SameSocketTransient × the flat-model transient, across sockets
+// CrossSocketTransient ×. A nil Params.Topology (or any shape whose
+// multipliers are both 1) is the flat machine and leaves every run
+// bit-for-bit identical to the topology-free simulator.
+type Topology = topo.Topology
+
+// ParseTopology parses the affinitysim -topology syntax: "SxC" for S
+// sockets of C cores (same-socket multiplier 1, cross-socket 1.5 when
+// S > 1), or "SxC:same,cross" with both multipliers explicit.
+func ParseTopology(s string) (*Topology, error) { return topo.Parse(s) }
+
+// FlatTopology returns the n-core single-socket machine — the explicit
+// spelling of the default flat model.
+func FlatTopology(n int) *Topology { return topo.Flat(n) }
 
 // Traffic models.
 type (

@@ -58,8 +58,8 @@ func TestPublicBackgrounds(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	all := affinity.Experiments()
-	if len(all) != 34 {
-		t.Fatalf("Experiments() = %d entries, want 34", len(all))
+	if len(all) != 36 {
+		t.Fatalf("Experiments() = %d entries, want 36", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -99,5 +99,28 @@ func TestPublicPolicyParadigmPairs(t *testing.T) {
 	}
 	if !affinity.IPSRandom.ForIPS() {
 		t.Fatal("IPSRandom paradigm flags")
+	}
+	if !affinity.RSS.ForLocking() || affinity.RSS.ForIPS() {
+		t.Fatal("RSS paradigm flags")
+	}
+	if !affinity.FlowDirector.ForLocking() || affinity.FlowDirector.ForIPS() {
+		t.Fatal("FlowDirector paradigm flags")
+	}
+}
+
+func TestPublicTopology(t *testing.T) {
+	tp, err := affinity.ParseTopology("2x4:1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Processors() != 8 || tp.CrossSocketTransient != 2 {
+		t.Fatalf("ParseTopology = %+v", tp)
+	}
+	if _, err := affinity.ParseTopology("2x4:2,1"); err == nil {
+		t.Fatal("inverted multipliers accepted")
+	}
+	flat := affinity.FlatTopology(4)
+	if flat.Sockets != 1 || flat.CoresPerSocket != 4 {
+		t.Fatalf("FlatTopology = %+v", flat)
 	}
 }

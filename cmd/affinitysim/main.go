@@ -7,6 +7,8 @@
 //	affinitysim -paradigm locking -policy mru -streams 16 -rate 2000
 //	affinitysim -paradigm ips -policy wired -streams 16 -stacks 16 -rate 1000
 //	affinitysim -paradigm locking -policy fcfs -rate 1000 -burst 16 -intensity 0.5
+//	affinitysim -policy rss -topology 2x4 -streams 16 -rate 2000
+//	affinitysim -policy flowdir -topology 2x4:1,2.5 -burst 16 -fdrebalance 8
 //	affinitysim -spec workload.json -record run.trace
 //	affinitysim -replay run.trace -policy fcfs
 package main
@@ -23,11 +25,13 @@ import (
 )
 
 var policies = map[string]affinity.Policy{
-	"fcfs":   affinity.FCFS,
-	"mru":    affinity.MRU,
-	"pools":  affinity.ThreadPools,
-	"wired":  affinity.WiredStreams,
-	"random": affinity.IPSRandom,
+	"fcfs":    affinity.FCFS,
+	"mru":     affinity.MRU,
+	"pools":   affinity.ThreadPools,
+	"wired":   affinity.WiredStreams,
+	"rss":     affinity.RSS,
+	"flowdir": affinity.FlowDirector,
+	"random":  affinity.IPSRandom,
 }
 
 var ipsPolicies = map[string]affinity.Policy{
@@ -41,10 +45,12 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
 		backend   = flag.String("backend", "des", "execution backend: des (deterministic discrete-event simulation) | live (real goroutines, statistically reproducible)")
 		paradigm  = flag.String("paradigm", "locking", "parallelization: locking | ips | hybrid")
-		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired; ips: wired|mru|random")
+		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired|rss|flowdir; ips: wired|mru|random")
 		streams   = flag.Int("streams", 8, "number of packet streams")
 		stacks    = flag.Int("stacks", 0, "independent stacks (ips only; 0 = min(streams, processors))")
-		procs     = flag.Int("processors", 0, "processors (0 = platform default of 8)")
+		procs     = flag.Int("processors", 0, "processors (0 = platform default of 8, or the -topology shape)")
+		topoSpec  = flag.String("topology", "", "machine shape \"SxC\" (S sockets × C cores) or \"SxC:same,cross\" with explicit reload-transient multipliers; empty = flat")
+		fdReb     = flag.Int("fdrebalance", 0, "flowdir queue-depth trigger for re-homing a stream (0 = default of 8, negative disables rebalancing)")
 		rate      = flag.Float64("rate", 1000, "per-stream packet rate (pkt/s)")
 		burst     = flag.Float64("burst", 1, "mean burst size (1 = plain Poisson)")
 		train     = flag.Float64("train", 0, "mean packet-train length (0 = disabled)")
@@ -85,6 +91,14 @@ func main() {
 		Seed:            *seed,
 		MeasuredPackets: *packets,
 		MaxQueueDepth:   *maxQueue,
+		FDRebalance:     *fdReb,
+	}
+	if *topoSpec != "" {
+		tp, err := affinity.ParseTopology(*topoSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		p.Topology = tp
 	}
 	if *faultSpec != "" {
 		plan, err := affinity.ParseFaultPlan(*faultSpec)
@@ -98,7 +112,7 @@ func main() {
 		p.Paradigm = affinity.Locking
 		pol, ok := policies[strings.ToLower(*policy)]
 		if !ok || !pol.ForLocking() {
-			fail("unknown locking policy %q (fcfs|mru|pools|wired)", *policy)
+			fail("unknown locking policy %q (fcfs|mru|pools|wired|rss|flowdir)", *policy)
 		}
 		p.Policy = pol
 	case "ips":

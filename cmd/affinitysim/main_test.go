@@ -259,6 +259,14 @@ func TestCLIBadFlagsExitOne(t *testing.T) {
 		{"-spec", goodSpec, "-streams", "3"}, // conflicts with spec's 8
 		{"-shards", "0"},
 		{"-shards", "-2"},
+		{"-topology", "nonsense"},
+		{"-topology", "0x4"},
+		{"-topology", "2x"},
+		{"-topology", "2x4:2,1"},    // cross-socket cheaper than same-socket
+		{"-topology", "2x4:0.5,2"},  // same-socket below 1
+		{"-topology", "2x4", "-processors", "6"}, // shape disagrees with count
+		{"-paradigm", "ips", "-policy", "rss"},   // hash dispatch is Locking-only
+		{"-paradigm", "ips", "-policy", "flowdir"},
 	}
 	for _, args := range cases {
 		_, stderr, code := run(t, args...)
@@ -268,6 +276,58 @@ func TestCLIBadFlagsExitOne(t *testing.T) {
 		if !strings.HasPrefix(stderr, "affinitysim:") {
 			t.Errorf("%v: stderr %q lacks the affinitysim: prefix", args, stderr)
 		}
+	}
+}
+
+// TestCLIFlatTopologyMatchesGolden pins the topology no-op contract end
+// to end: an explicit single-socket shape must reproduce the
+// topology-free sequential golden byte for byte.
+func TestCLIFlatTopologyMatchesGolden(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-paradigm", "locking", "-policy", "mru",
+		"-rate", "1000", "-packets", "2000", "-seed", "1",
+		"-topology", "1x8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	checkGolden(t, "cli_text.golden", stdout)
+}
+
+// TestCLIHashPolicies exercises the new -policy values end to end: RSS
+// on a NUMA shape completes with zero reordering; Flow Director under
+// bursty load reports the in-flight reordering its rebalancing causes.
+func TestCLIHashPolicies(t *testing.T) {
+	stdout, stderr, code := run(t,
+		"-policy", "rss", "-topology", "2x4", "-streams", "16",
+		"-rate", "800", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("rss: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "policy          RSS") {
+		t.Errorf("rss output lacks the policy line:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "reordered       0 completions") {
+		t.Errorf("rss reordered packets — static homes cannot reorder:\n%s", stdout)
+	}
+
+	stdout, stderr, code = run(t, "-json",
+		"-policy", "flowdir", "-topology", "2x4:1,1.8",
+		"-rate", "2500", "-burst", "16", "-packets", "2000", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("flowdir: exit %d, stderr: %s", code, stderr)
+	}
+	var res sim.Results
+	if err := json.Unmarshal([]byte(stdout), &res); err != nil {
+		t.Fatalf("flowdir JSON: %v", err)
+	}
+	if res.Policy != "FlowDirector" {
+		t.Errorf("policy = %q, want FlowDirector", res.Policy)
+	}
+	if res.ReorderedTotal == 0 {
+		t.Error("flowdir reported no reordering on bursty load — rebalancing never fired")
+	}
+	if err := sim.CheckInvariants(res); err != nil {
+		t.Error(err)
 	}
 }
 

@@ -89,6 +89,11 @@ func (m *Model) Compile() *Exec {
 	}
 }
 
+// Warm returns the warm-cache execution time t_warm — the floor of the
+// T(x) curve. Topology-aware charging scales only the reload transient
+// T(x) − Warm() of a migrating packet, never the warm service floor.
+func (e *Exec) Warm() float64 { return e.tWarm }
+
 // F1 returns the L1 displaced fraction, identical to Model.F1.
 func (e *Exec) F1(refs float64) float64 {
 	if math.IsInf(refs, 1) {

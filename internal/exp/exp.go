@@ -179,6 +179,8 @@ func All() []Experiment {
 		{"E30", "Per-stream packet reordering: migrating policies vs Wired-Streams", FigE30},
 		{"E31", "Zipf stream-popularity skew vs affinity benefit", FigE31},
 		{"E32", "Scheduling policies on one replayed ON/OFF burst trace", FigE32},
+		{"E33", "NUMA topology sweep: MRU vs Wired-Streams vs cross-socket transient cost", FigE33},
+		{"E34", "Hash dispatch (RSS, Flow Director) vs MRU on bursty Zipf traffic", FigE34},
 	}
 }
 

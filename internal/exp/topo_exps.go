@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"fmt"
+
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/topo"
+	"affinity/internal/traffic"
+	"affinity/internal/workload"
+)
+
+// FigE33 asks how the paper's headline verdict — MRU affinity beats
+// static stream wiring — survives on a machine the paper never had: a
+// multi-socket NUMA box where a migrating packet's reload transient
+// depends on how far it moved. The sweep holds a 2×4 shape fixed and
+// raises the cross-socket transient multiplier; MRU keeps its
+// scheduling freedom but pays ever more for using it, while
+// Wired-Streams never migrates after assignment and is bit-identical
+// at every point. The MRU-over-Wired advantage therefore shrinks
+// monotonically in the multiplier — affinity scheduling's value is a
+// function of the topology's migration cost, which is exactly the
+// Vaswani–Zahorjan-style sensitivity E24 measures along a different
+// axis.
+func FigE33(c Config) *Table {
+	t := &Table{
+		ID:      "E33",
+		Title:   "NUMA topology sweep: MRU vs Wired-Streams as cross-socket transients grow (Locking, 2×4 cores, 8 streams, 1500 pkt/s/stream)",
+		Columns: []string{"topology", "MRU delay (µs)", "Wired delay (µs)", "MRU advantage", "MRU migrations"},
+		Notes: []string{
+			"topology SxC:same,cross — transient multipliers for same-socket and cross-socket migration",
+			"flat is the topology-free baseline machine (all multipliers 1); Wired-Streams never migrates,",
+			"so its column is constant and the advantage erodes only through MRU's migration bill",
+		},
+	}
+	topos := []struct {
+		label string
+		tp    *topo.Topology
+	}{
+		{"flat", nil},
+		{"2x4:1,1.5", &topo.Topology{Sockets: 2, CoresPerSocket: 4, SameSocketTransient: 1, CrossSocketTransient: 1.5}},
+		{"2x4:1,2", &topo.Topology{Sockets: 2, CoresPerSocket: 4, SameSocketTransient: 1, CrossSocketTransient: 2}},
+		{"2x4:1.2,3", &topo.Topology{Sockets: 2, CoresPerSocket: 4, SameSocketTransient: 1.2, CrossSocketTransient: 3}},
+	}
+	g := c.Grid("E33")
+	type pair struct{ mru, wired *Point }
+	pts := make([]pair, len(topos))
+	for i, tc := range topos {
+		base := sim.Params{
+			Paradigm: sim.Locking, Streams: 8, Processors: 8,
+			Topology: tc.tp,
+			Arrival:  traffic.Poisson{PacketsPerSec: 1500},
+		}
+		mru := base
+		mru.Policy = sched.MRU
+		wired := base
+		wired.Policy = sched.WiredStreams
+		pts[i].mru = g.Add(tc.label+"/MRU", mru)
+		pts[i].wired = g.Add(tc.label+"/Wired", wired)
+	}
+	g.Run()
+	for i, tc := range topos {
+		mr, wd := pts[i].mru.Results(), pts[i].wired.Results()
+		adv := (wd.MeanDelay - mr.MeanDelay) / wd.MeanDelay
+		t.AddRow(tc.label, fmtDelay(mr), fmtDelay(wd),
+			fmt.Sprintf("%.1f%%", 100*adv), mr.Migrations)
+	}
+	return t
+}
+
+// FigE34 evaluates the two NIC-style hash dispatchers against the
+// paper's best migrating policy on Internet-shaped traffic: a bursty
+// Zipf-skewed client mix on a NUMA machine. RSS is pure static
+// affinity — every stream's home comes from a hash, so it never
+// migrates and structurally never reorders a stream, but a hot hash
+// bucket eats the skew. Flow Director keeps RSS's table and re-homes a
+// stream when its queue backs up, buying load balance at the price the
+// transport layer sees: in-flight packets of the moved stream complete
+// out of order. MRU is the software ceiling both approximate — perfect
+// affinity when idle, migration when busy, reordering paid on every
+// move.
+func FigE34(c Config) *Table {
+	t := &Table{
+		ID:      "E34",
+		Title:   "Hash dispatch vs MRU on bursty Zipf traffic (Locking, 2×4:1,2 NUMA, 16 streams, 12000 pkt/s aggregate, burst 8, zipf 1.1)",
+		Columns: []string{"policy", "mean delay (µs)", "p95 (µs)", "warm frac", "reordered", "max distance", "migrations"},
+		Notes: []string{
+			"RSS: static hash table homes, zero reordering by construction — the hottest bucket pays for the skew",
+			"FlowDirector: RSS + queue-depth-triggered re-homing (trigger 8); reordering counts its in-flight moves",
+			"MRU: the paper's migrating affinity policy as the software reference point",
+		},
+	}
+	spec := &workload.Spec{
+		Name: "bursty-zipf",
+		Classes: []workload.Class{
+			{Name: "flows", Model: "batch", Streams: 16, RatePPS: 12000,
+				MeanBurst: 8, Zipf: 1.1},
+		},
+	}
+	numa := &topo.Topology{Sockets: 2, CoresPerSocket: 4,
+		SameSocketTransient: 1, CrossSocketTransient: 2}
+	g := c.Grid("E34")
+	policies := []sched.Kind{sched.RSS, sched.FlowDirector, sched.MRU}
+	pts := make([]*Point, len(policies))
+	for i, pol := range policies {
+		pts[i] = g.Add(pol.String(), sim.Params{
+			Paradigm: sim.Locking, Policy: pol, Processors: 8,
+			Topology: numa, Workload: spec,
+		})
+	}
+	g.Run()
+	for i, pol := range policies {
+		r := pts[i].Results()
+		t.AddRow(pol.String(), fmtDelay(r), fmt.Sprintf("%.1f", r.P95Delay),
+			fmt.Sprintf("%.2f", r.WarmFraction), r.ReorderedTotal,
+			r.MaxReorderDistance, r.Migrations)
+	}
+	return t
+}

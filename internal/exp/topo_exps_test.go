@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestE33AdvantageErodesMonotonically pins E33's load-bearing claims:
+// the Wired-Streams column is identical at every topology point (a
+// never-migrating policy is bit-insensitive to transient multipliers),
+// and the MRU-over-Wired advantage strictly decreases as the
+// cross-socket multiplier grows.
+func TestE33AdvantageErodesMonotonically(t *testing.T) {
+	tb := FigE33(Config{Quick: true, Seed: 1})
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E33 has %d rows, want 4", len(tb.Rows))
+	}
+	wired := tb.Rows[0][2]
+	prev := 1e9
+	for _, row := range tb.Rows {
+		label, mruCell, wiredCell, advCell := row[0], row[1], row[2], row[3]
+		if wiredCell != wired {
+			t.Errorf("%s: Wired delay %q differs from flat's %q — wiring must not feel the topology",
+				label, wiredCell, wired)
+		}
+		adv, err := strconv.ParseFloat(strings.TrimSuffix(advCell, "%"), 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable advantage cell %q", label, advCell)
+		}
+		if adv >= prev {
+			t.Errorf("%s: MRU advantage %.1f%% did not fall below the previous point's %.1f%% (MRU %s)",
+				label, adv, prev, mruCell)
+		}
+		prev = adv
+	}
+}
+
+// TestE34ReorderingContrast pins E34's semantic claim: RSS reorders
+// exactly zero completions (static homes are structural in-order
+// delivery) while Flow Director's rebalancing reorders a strictly
+// positive number, and Flow Director's load balancing beats RSS on
+// mean delay at this skewed bursty operating point.
+func TestE34ReorderingContrast(t *testing.T) {
+	tb := FigE34(Config{Quick: true, Seed: 1})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("E34 has %d rows, want 3", len(tb.Rows))
+	}
+	delays := map[string]float64{}
+	for _, row := range tb.Rows {
+		policy, delayCell, reorderedCell := row[0], row[1], row[4]
+		reordered, err := strconv.ParseUint(reorderedCell, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable reordered cell %q", policy, reorderedCell)
+		}
+		delay, err := strconv.ParseFloat(strings.Fields(delayCell)[0], 64)
+		if err != nil {
+			t.Fatalf("%s: unparseable delay cell %q", policy, delayCell)
+		}
+		delays[policy] = delay
+		switch policy {
+		case "RSS":
+			if reordered != 0 {
+				t.Errorf("RSS reordered %d completions, must be structurally zero", reordered)
+			}
+		case "FlowDirector":
+			if reordered == 0 {
+				t.Error("FlowDirector reordered nothing — rebalancing never fired at this operating point")
+			}
+		}
+	}
+	if delays["FlowDirector"] >= delays["RSS"] {
+		t.Errorf("FlowDirector delay %.1f not below RSS %.1f — rebalancing bought nothing",
+			delays["FlowDirector"], delays["RSS"])
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"affinity/internal/sched"
 	"affinity/internal/sim"
 	"affinity/internal/stats"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 )
 
@@ -110,6 +111,11 @@ type live struct {
 	exec  *core.Exec
 	rate  float64
 
+	// topo is Params.Topology when it can change a charge (some
+	// transient multiplier ≠ 1); nil for the flat machine, mirroring
+	// the DES runner's guard exactly.
+	topo *topo.Topology
+
 	mu sync.Mutex // the dispatch/queue lock
 
 	disp  sched.PacketDispatcher
@@ -164,9 +170,12 @@ type live struct {
 
 	// Per-stream reordering state (see the DES runner): counters always
 	// run, so Results carries the metric with or without recorders.
+	// streamReordered is sparse — created at the first reordered
+	// completion, nil on in-order runs — matching the DES runner so the
+	// backends' Results stay comparable.
 	streamSeq       []uint64
 	streamMaxDone   []uint64
-	streamReordered []uint64
+	streamReordered map[int]uint64
 	reordered       uint64
 	maxReorderDist  uint64
 
@@ -223,10 +232,13 @@ func newLive(p sim.Params) *live {
 		delayHist:  stats.NewHistogram(0, 100_000, 10_000),
 		perStream:  make([]stats.Accumulator, p.Streams),
 
-		drec:            p.DecisionRecorder,
-		streamSeq:       make([]uint64, p.Streams),
-		streamMaxDone:   make([]uint64, p.Streams),
-		streamReordered: make([]uint64, p.Streams),
+		drec:          p.DecisionRecorder,
+		streamSeq:     make([]uint64, p.Streams),
+		streamMaxDone: make([]uint64, p.Streams),
+	}
+	if t := p.Topology; t != nil &&
+		(t.SameSocketTransient != 1 || t.CrossSocketTransient != 1) {
+		r.topo = t
 	}
 	if r.drec != nil {
 		r.candScratch = make([]obs.Candidate, 0, p.Processors)
@@ -248,7 +260,8 @@ func newLive(p sim.Params) *live {
 	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
 	if p.Paradigm == sim.Locking {
-		r.disp = sched.NewPacketDispatcherLookahead(p.Policy, p.Processors, schedRNG, p.MRULookahead)
+		r.disp = sched.NewPacketDispatcherHash(p.Policy, p.Processors, schedRNG, p.MRULookahead,
+			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity})
 	} else {
 		r.sdisp = sched.NewStackDispatcherLookahead(p.Policy, p.Stacks, p.Processors, schedRNG, p.MRULookahead)
 		r.stacks = make([]stackLive, p.Stacks)
@@ -288,6 +301,9 @@ func (r *live) decide(point obs.DecisionPoint, pkt sched.Packet, cands []int, ch
 	for _, pc := range cands {
 		x := r.xRefs(pkt.Entity, pc)
 		texec, f1 := r.exec.ExecTimeF1(x)
+		if r.topo != nil {
+			texec = r.topoScaled(texec, pkt.Entity, pc)
+		}
 		cost := texec + r.p.DataTouch
 		if s := r.procs[pc].slow; s != 1 {
 			cost *= s
@@ -745,6 +761,20 @@ func (r *live) kickIdle() {
 	}
 }
 
+// topoScaled applies the topology's migration transient multiplier to
+// a model-charged execution time — the DES runner's topoScaled exactly
+// (see its comment for the charging rule). Callers hold r.mu and guard
+// with r.topo != nil.
+func (r *live) topoScaled(texec float64, entity, proc int) float64 {
+	if last := r.lastProcOf[entity]; last >= 0 && last != proc {
+		if s := r.topo.TransientScale(last, proc); s != 1 {
+			w := r.exec.Warm()
+			texec = w + s*(texec-w)
+		}
+	}
+	return texec
+}
+
 // xRefs returns the displacing references entity e suffered on proc
 // since it last completed there; callers hold r.mu.
 func (r *live) xRefs(e, proc int) float64 {
@@ -787,6 +817,9 @@ func (r *live) begin(pkt sched.Packet, proc int, fromIdle, locked bool, done int
 
 	x := r.xRefs(pkt.Entity, proc)
 	texec, f1 := r.exec.ExecTimeF1(x)
+	if r.topo != nil {
+		texec = r.topoScaled(texec, pkt.Entity, proc)
+	}
 	exec := texec + r.p.DataTouch
 	if ps.slow != 1 {
 		exec *= ps.slow
@@ -886,6 +919,9 @@ func (r *live) settleCompletion(pkt sched.Packet, proc int, protoExec float64) {
 		r.streamMaxDone[pkt.Stream] = pkt.StreamSeq
 	} else {
 		r.reordered++
+		if r.streamReordered == nil {
+			r.streamReordered = make(map[int]uint64)
+		}
 		r.streamReordered[pkt.Stream]++
 		if d := r.streamMaxDone[pkt.Stream] - pkt.StreamSeq; d > r.maxReorderDist {
 			r.maxReorderDist = d
@@ -1086,7 +1122,7 @@ func (r *live) results() sim.Results {
 
 		ReorderedTotal:     r.reordered,
 		MaxReorderDistance: r.maxReorderDist,
-		PerStreamReordered: append([]uint64(nil), r.streamReordered...),
+		PerStreamReordered: r.streamReordered, // run-owned; nil when in order
 	}
 	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
 	res.DelayOverflow = r.delayHist.OverflowFraction()

@@ -13,7 +13,7 @@ import (
 // ForLocking once accepted any Kind ≤ WiredStreams, including negative
 // values, so a corrupt Kind(-3) passed Locking-paradigm validation.
 func TestKindParadigmRangeChecks(t *testing.T) {
-	for _, k := range []Kind{Kind(-1), Kind(-3), IPSRandom + 1, Kind(99)} {
+	for _, k := range []Kind{Kind(-1), Kind(-3), kindCount, Kind(99)} {
 		if k.ForLocking() || k.ForIPS() {
 			t.Errorf("out-of-range Kind(%d) passed a paradigm check", int(k))
 		}

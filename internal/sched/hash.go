@@ -1,0 +1,277 @@
+package sched
+
+import "sort"
+
+// This file implements the NIC-hash dispatch policies. Both model the
+// hardware flow-steering path of a multi-queue NIC: the packet's stream
+// id is hashed through a fixed-size indirection table whose entries
+// name processors, and the packet joins that processor's queue — no
+// stealing, no work-conservation fallback, exactly like Wired-Streams
+// except that the home assignment is a hash rather than first-seen
+// round-robin.
+//
+//	RSS          — the table is static ("A Transport-Friendly NIC for
+//	               Multicore/Multiprocessor Systems", arXiv:1106.0445).
+//	               A flow's packets always land on one core, so
+//	               per-flow order is preserved by construction, but the
+//	               hash is blind to where the flow's cache state is
+//	               warm.
+//	FlowDirector — an ATR-style table that re-homes a flow when its
+//	               home queue backs up ("Why Does Flow Director Cause
+//	               Packet Reordering?", arXiv:1106.0443). The re-homed
+//	               flow's new packets run on the new core while its
+//	               earlier packets still wait at the old one, so a
+//	               rebalance point can complete packets out of arrival
+//	               order — the reordering pathology the paper measures.
+
+// hashTableSize is the indirection-table length: 128 entries, as in the
+// RSS redirection tables of the NICs both papers measure.
+const hashTableSize = 128
+
+// HashConfig configures the hash-dispatch policies; the zero value
+// selects the defaults.
+type HashConfig struct {
+	// Rebalance is FlowDirector's re-home trigger: a flow is moved off
+	// its home when the home queue already holds at least Rebalance
+	// waiting packets and a better target exists. 0 selects the default
+	// (DefaultRebalance); a negative value disables rebalancing, making
+	// FlowDirector behave exactly like RSS. RSS ignores it.
+	Rebalance int
+	// Identity replaces the hash mix with the identity function
+	// (bucket = stream mod table size). Diagnostic only: it lines the
+	// table up with small stream counts so hash placement can be
+	// compared against Wired-Streams' round-robin in equivalence tests.
+	Identity bool
+}
+
+// DefaultRebalance is FlowDirector's default re-home trigger depth.
+const DefaultRebalance = 8
+
+// hashed implements PacketDispatcher for RSS and FlowDirector.
+type hashed struct {
+	affinityCount
+	kind     Kind
+	queues   []fifo
+	table    []int       // bucket → processor, mutated by faults and rebalancing
+	canon    []int       // bucket → original processor, the failback target
+	override map[int]int // entity → re-homed processor (FlowDirector only)
+	avail    []bool
+	// rebalance is the re-home trigger depth; < 0 disables rebalancing
+	// (always for RSS).
+	rebalance int
+	identity  bool
+}
+
+func newHashed(kind Kind, n int, hc HashConfig) *hashed {
+	if hc.Rebalance == 0 {
+		hc.Rebalance = DefaultRebalance
+	}
+	table := make([]int, hashTableSize)
+	canon := make([]int, hashTableSize)
+	for i := range table {
+		table[i] = i % n
+		canon[i] = i % n
+	}
+	avail := make([]bool, n)
+	for i := range avail {
+		avail[i] = true
+	}
+	return &hashed{
+		kind: kind, queues: make([]fifo, n), table: table, canon: canon,
+		override: map[int]int{}, avail: avail,
+		rebalance: hc.Rebalance, identity: hc.Identity,
+	}
+}
+
+func (h *hashed) Name() string { return h.kind.String() }
+
+// mix64 is the splitmix64 finalizer — the stand-in for the NIC's
+// Toeplitz hash. Distinct small integers spread across the table.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (h *hashed) bucket(entity int) int {
+	if h.identity {
+		return entity % len(h.table)
+	}
+	return int(mix64(uint64(entity)) % uint64(len(h.table)))
+}
+
+// homeOf is a pure read: the table (plus any FlowDirector override)
+// fully determines a flow's processor, so unlike pools.homeOf there is
+// no first-touch assignment to record.
+func (h *hashed) homeOf(entity int) int {
+	if p, ok := h.override[entity]; ok {
+		return p
+	}
+	return h.table[h.bucket(entity)]
+}
+
+func (h *hashed) PickProcessor(pk Packet, idle []int) int {
+	home := h.homeOf(pk.Entity)
+	for _, i := range idle {
+		if i == home {
+			h.note(true)
+			return home
+		}
+	}
+	// The home is busy. FlowDirector's ATR update fires here: the
+	// arriving packet is a transmit-side sample, and if the home queue
+	// has backed up past the trigger the flow is re-homed to the
+	// lowest-numbered idle processor. Packets already queued at the old
+	// home stay there — that is the reordering window.
+	if h.rebalance >= 0 && h.queues[home].len() >= h.rebalance {
+		target := idle[0]
+		for _, i := range idle[1:] {
+			if i < target {
+				target = i
+			}
+		}
+		h.override[pk.Entity] = target
+		h.note(false)
+		return target
+	}
+	return -1 // wait for the home processor (no decision)
+}
+
+func (h *hashed) Enqueue(pk Packet) {
+	home := h.homeOf(pk.Entity)
+	// No idle processor anywhere: FlowDirector still samples the queue
+	// depths and re-homes to the least-loaded live core when the gap
+	// has grown past the trigger.
+	if h.rebalance >= 0 && h.queues[home].len() >= h.rebalance {
+		if t := h.leastLoaded(home); t >= 0 &&
+			h.queues[home].len()-h.queues[t].len() >= h.rebalance {
+			h.override[pk.Entity] = t
+			home = t
+		}
+	}
+	h.queues[home].push(pk)
+}
+
+// leastLoaded returns the live processor with the shortest queue
+// (lowest index on ties), or -1 when no live processor other than home
+// exists.
+func (h *hashed) leastLoaded(home int) int {
+	best, depth := -1, 0
+	for i := range h.queues {
+		if i == home || !h.avail[i] {
+			continue
+		}
+		if d := h.queues[i].len(); best < 0 || d < depth {
+			best, depth = i, d
+		}
+	}
+	return best
+}
+
+func (h *hashed) Dispatch(proc int) (Packet, bool) {
+	pk, ok := h.queues[proc].pop()
+	if !ok {
+		return Packet{}, false
+	}
+	// A re-homed flow's stale packets drain from the old core: those
+	// dispatches are misses (the flow's warm state is being rebuilt at
+	// the new home).
+	h.note(h.homeOf(pk.Entity) == proc)
+	return pk, true
+}
+
+// RanOn is a no-op: the hash, not execution history, owns placement.
+func (*hashed) RanOn(int, int) {}
+
+func (h *hashed) Queued() int {
+	n := 0
+	for i := range h.queues {
+		n += h.queues[i].len()
+	}
+	return n
+}
+
+func (h *hashed) DepthFor(pk Packet) int { return h.queues[h.homeOf(pk.Entity)].len() }
+
+// ProcDown rewrites every indirection-table entry (and FlowDirector
+// override) naming the failed processor onto the remaining live ones —
+// round-robin across buckets in ascending order, like a driver
+// rewriting the RSS redirection table — and migrates its queued packets
+// to their new homes in arrival order.
+func (h *hashed) ProcDown(proc int) {
+	h.avail[proc] = false
+	live := h.liveProcs()
+	if len(live) > 0 {
+		next := 0
+		for i := range h.table {
+			if h.table[i] == proc {
+				h.table[i] = live[next%len(live)]
+				next++
+			}
+		}
+		var ids []int
+		for e, p := range h.override {
+			if p == proc {
+				ids = append(ids, e)
+			}
+		}
+		sort.Ints(ids)
+		for _, e := range ids {
+			h.override[e] = live[next%len(live)]
+			next++
+		}
+	}
+	for {
+		pk, ok := h.queues[proc].pop()
+		if !ok {
+			break
+		}
+		h.queues[h.homeOf(pk.Entity)].push(pk)
+	}
+}
+
+// ProcUp restores the processor and fails the table back to its
+// canonical entries (with the displaced flows' queued packets;
+// per-flow FIFO order is preserved because a flow's packets sit
+// contiguously in one queue). FlowDirector overrides stay where
+// rebalancing put them — recovery does not undo ATR placement.
+func (h *hashed) ProcUp(proc int) {
+	h.avail[proc] = true
+	changed := false
+	for i := range h.table {
+		if h.canon[i] == proc && h.table[i] != proc {
+			h.table[i] = proc
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	for q := range h.queues {
+		if q == proc {
+			continue
+		}
+		for _, pk := range h.queues[q].drainMatching(func(pk Packet) bool {
+			return h.homeOf(pk.Entity) == proc
+		}) {
+			h.queues[proc].push(pk)
+		}
+	}
+}
+
+func (h *hashed) liveProcs() []int {
+	var live []int
+	for i, ok := range h.avail {
+		if ok {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// PreferredProc: the hash always names a target, even for a flow never
+// seen — that is the point of hash dispatch.
+func (h *hashed) PreferredProc(entity int) int { return h.homeOf(entity) }

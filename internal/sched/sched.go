@@ -48,7 +48,12 @@ type Packet struct {
 // Kind names a scheduling policy.
 type Kind int
 
-// Locking-paradigm policies, then IPS-paradigm policies.
+// Locking-paradigm policies, then IPS-paradigm policies, then the
+// NIC-hash dispatch policies (also Locking: any processor can process
+// any packet, the hash just decides where it lands). New kinds must be
+// appended — the ordinal is part of sim.CacheKey — and added to exactly
+// one of the paradigm sets below; kindCount keeps the exhaustiveness
+// test honest.
 const (
 	FCFS Kind = iota
 	MRU
@@ -57,6 +62,19 @@ const (
 	IPSWired
 	IPSMRU
 	IPSRandom
+	// RSS models receive-side scaling: a static stream-hash through an
+	// indirection table picks the packet's processor, so a flow's
+	// packets always land on one core (no reordering by construction)
+	// whether or not that core is the warm one.
+	RSS
+	// FlowDirector models an ATR-style rebalancing hash table: a flow
+	// whose home queue backs up is re-homed to a less-loaded core while
+	// its earlier packets still wait at the old one — reproducing the
+	// in-flight reordering pathology of arXiv:1106.0443.
+	FlowDirector
+
+	// kindCount sentinel: keep last.
+	kindCount
 )
 
 func (k Kind) String() string {
@@ -75,20 +93,37 @@ func (k Kind) String() string {
 		return "IPS-MRU"
 	case IPSRandom:
 		return "IPS-Random"
+	case RSS:
+		return "RSS"
+	case FlowDirector:
+		return "FlowDirector"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
 }
 
 // ForLocking reports whether the policy applies to the Locking paradigm.
-// The range check is closed on both ends: a negative or otherwise
-// out-of-range Kind is not a Locking policy and must fail paradigm
-// validation rather than silently pass it.
-func (k Kind) ForLocking() bool { return k >= FCFS && k <= WiredStreams }
+// Membership is an explicit set, not an ordinal range: ranges silently
+// misclassify newly appended kinds (the hash policies sit above the IPS
+// block, so `k <= WiredStreams` would have excluded them), and a
+// negative or otherwise out-of-range Kind must fail paradigm validation
+// rather than pass it. TestKindClassificationExhaustive fails when a
+// new Kind joins neither paradigm.
+func (k Kind) ForLocking() bool {
+	switch k {
+	case FCFS, MRU, ThreadPools, WiredStreams, RSS, FlowDirector:
+		return true
+	}
+	return false
+}
 
 // ForIPS reports whether the policy applies to the IPS paradigm.
 func (k Kind) ForIPS() bool {
-	return k == IPSWired || k == IPSMRU || k == IPSRandom
+	switch k {
+	case IPSWired, IPSMRU, IPSRandom:
+		return true
+	}
+	return false
 }
 
 // PacketDispatcher is the Locking-paradigm scheduling interface.
@@ -174,6 +209,17 @@ func NewPacketDispatcherLookahead(k Kind, n int, rng *des.RNG, lookahead int) Pa
 	if lookahead < 1 {
 		lookahead = 1
 	}
+	return NewPacketDispatcherHash(k, n, rng, lookahead, HashConfig{})
+}
+
+// NewPacketDispatcherHash is NewPacketDispatcherLookahead with an
+// explicit configuration for the hash-dispatch policies (RSS,
+// FlowDirector); the zero HashConfig selects their defaults and is
+// ignored by every other kind.
+func NewPacketDispatcherHash(k Kind, n int, rng *des.RNG, lookahead int, hc HashConfig) PacketDispatcher {
+	if lookahead < 1 {
+		lookahead = 1
+	}
 	switch k {
 	case FCFS:
 		return &fcfs{rng: rng}
@@ -183,6 +229,11 @@ func NewPacketDispatcherLookahead(k Kind, n int, rng *des.RNG, lookahead int) Pa
 		return newPools(n, true, rng)
 	case WiredStreams:
 		return newPools(n, false, rng)
+	case RSS:
+		hc.Rebalance = -1 // static by definition
+		return newHashed(RSS, n, hc)
+	case FlowDirector:
+		return newHashed(FlowDirector, n, hc)
 	default:
 		panic(fmt.Sprintf("sched: %v is not a Locking policy", k))
 	}

@@ -26,7 +26,7 @@ func contains(set []int, v int) bool {
 }
 
 func TestKindStringsAndParadigms(t *testing.T) {
-	for _, k := range []Kind{FCFS, MRU, ThreadPools, WiredStreams} {
+	for _, k := range []Kind{FCFS, MRU, ThreadPools, WiredStreams, RSS, FlowDirector} {
 		if !k.ForLocking() || k.ForIPS() {
 			t.Errorf("%v paradigm flags wrong", k)
 		}

@@ -175,6 +175,13 @@ func CacheKey(p Params) (string, bool) {
 	}
 	fmt.Fprintf(&b, "|cost:%g,%g,%g,%g", p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch)
 	fmt.Fprintf(&b, "|q:%d,%d,%d", p.HybridOverflow, p.MRULookahead, p.MaxQueueDepth)
+	fmt.Fprintf(&b, "|hash:%d,%t", p.FDRebalance, p.HashIdentity)
+	if p.Topology != nil {
+		// Parse round-trips String, so the rendering carries every field
+		// (shape and both transient multipliers): two runs differing only
+		// in topology can never share a key.
+		fmt.Fprintf(&b, "|topo:%s", p.Topology.String())
+	}
 	if p.Workload != nil {
 		// Redundant with the expanded ArrivalPerStream above for specs
 		// that expand, but keeps invalid (unexpandable) specs from

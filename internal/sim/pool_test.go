@@ -9,6 +9,7 @@ import (
 	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 	"affinity/internal/workload"
 )
@@ -102,7 +103,14 @@ var cacheKeyMutations = map[string]func(*Params){
 	"Processors": func(p *Params) { p.Processors = 3 },
 	"Streams":    func(p *Params) { p.Streams = 5 },
 	"Stacks":     func(p *Params) { p.Stacks = 2 },
-	"Arrival":    func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 801} },
+	"Topology": func(p *Params) {
+		p.Processors = 8
+		p.Topology = &topo.Topology{Sockets: 2, CoresPerSocket: 4,
+			SameSocketTransient: 1, CrossSocketTransient: 2}
+	},
+	"FDRebalance":  func(p *Params) { p.FDRebalance = 16 },
+	"HashIdentity": func(p *Params) { p.HashIdentity = true },
+	"Arrival":      func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 801} },
 	"ArrivalPerStream": func(p *Params) {
 		p.ArrivalPerStream = []traffic.Spec{
 			traffic.Poisson{PacketsPerSec: 1}, traffic.Poisson{PacketsPerSec: 2},
@@ -186,6 +194,36 @@ func TestCacheKeyFieldSensitivity(t *testing.T) {
 		} else if k == kBase {
 			t.Errorf("%s: key collision after mutation", name)
 		}
+	}
+}
+
+// The constructed collision the Topology key segment prevents: two runs
+// identical in every other field — including processor count — but
+// shaped differently (or shaped identically with different transient
+// multipliers) describe different machines and must never share a pool
+// entry. Without the |topo: segment all four keys below collide.
+func TestCacheKeyTopologyCollisionConstruction(t *testing.T) {
+	base := poolParams(1)
+	base.Processors = 8
+	variants := []*topo.Topology{
+		nil, // the flat, topology-free run
+		{Sockets: 2, CoresPerSocket: 4, SameSocketTransient: 1, CrossSocketTransient: 2},
+		{Sockets: 4, CoresPerSocket: 2, SameSocketTransient: 1, CrossSocketTransient: 2},
+		// Same shape as the second, different cross-socket cost.
+		{Sockets: 2, CoresPerSocket: 4, SameSocketTransient: 1, CrossSocketTransient: 3},
+	}
+	keys := map[string]int{}
+	for i, tp := range variants {
+		p := base
+		p.Topology = tp
+		k, ok := CacheKey(p)
+		if !ok {
+			t.Fatalf("variant %d not cacheable", i)
+		}
+		if prev, dup := keys[k]; dup {
+			t.Errorf("topology variants %d and %d collide on key %q", prev, i, k)
+		}
+		keys[k] = i
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"affinity/internal/obs"
 	"affinity/internal/sched"
 	"affinity/internal/stats"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 )
 
@@ -91,6 +92,12 @@ type runner struct {
 	exec  *core.Exec // compiled model: bit-identical, transcendentals hoisted
 	rate  float64    // displacing references per µs of full-speed execution
 
+	// topo is Params.Topology, but only when it can change a charge:
+	// nil for the flat machine (no topology, or one whose transient
+	// multipliers are all 1), so the topology-free path stays a single
+	// nil compare and is bit-identical to the pre-topology runner.
+	topo *topo.Topology
+
 	disp  sched.PacketDispatcher // Locking
 	sdisp sched.StackDispatcher  // IPS
 	lock  *des.Resource          // Locking: the shared-stack lock
@@ -151,12 +158,16 @@ type runner struct {
 
 	// Per-stream reordering state: streamSeq numbers each stream's
 	// arrivals (1-based), streamMaxDone is the highest StreamSeq
-	// completed, streamReordered the out-of-order completion count. The
-	// counters always run — they are a few integer ops per packet — so
-	// Results carries the metric with or without recorders.
+	// completed, streamReordered the out-of-order completion count —
+	// sparse, created at the first reordered completion, so the common
+	// in-order run carries no per-stream reorder storage at all (at
+	// million-stream scale the dense slice was an O(streams) allocation
+	// spent on zeros). The counters always run — they are a few integer
+	// ops per packet — so Results carries the metric with or without
+	// recorders.
 	streamSeq       []uint64
 	streamMaxDone   []uint64
-	streamReordered []uint64
+	streamReordered map[int]uint64
 	reordered       uint64
 	maxReorderDist  uint64
 }
@@ -211,10 +222,13 @@ func newRunner(p Params) *runner {
 		delayHist:  stats.NewHistogram(0, 100_000, 10_000), // 10 µs bins to 100 ms
 		perStream:  make([]stats.Accumulator, p.Streams),
 
-		drec:            p.DecisionRecorder,
-		streamSeq:       make([]uint64, p.Streams),
-		streamMaxDone:   make([]uint64, p.Streams),
-		streamReordered: make([]uint64, p.Streams),
+		drec:          p.DecisionRecorder,
+		streamSeq:     make([]uint64, p.Streams),
+		streamMaxDone: make([]uint64, p.Streams),
+	}
+	if t := p.Topology; t != nil &&
+		(t.SameSocketTransient != 1 || t.CrossSocketTransient != 1) {
+		r.topo = t
 	}
 	if r.drec != nil {
 		r.candScratch = make([]obs.Candidate, 0, p.Processors)
@@ -235,7 +249,8 @@ func newRunner(p Params) *runner {
 	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
 	if p.Paradigm == Locking {
-		r.disp = sched.NewPacketDispatcherLookahead(p.Policy, p.Processors, schedRNG, p.MRULookahead)
+		r.disp = sched.NewPacketDispatcherHash(p.Policy, p.Processors, schedRNG, p.MRULookahead,
+			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity})
 		r.lock = des.NewResource(r.sim, 1)
 	} else {
 		r.sdisp = sched.NewStackDispatcherLookahead(p.Policy, p.Stacks, p.Processors, schedRNG, p.MRULookahead)
@@ -278,6 +293,9 @@ func (r *runner) decide(point obs.DecisionPoint, pkt sched.Packet, cands []int, 
 	for _, pc := range cands {
 		x := r.xRefs(pkt.Entity, pc)
 		texec, f1 := r.exec.ExecTimeF1(x)
+		if r.topo != nil {
+			texec = r.topoScaled(texec, pkt.Entity, pc)
+		}
 		cost := texec + r.p.DataTouch
 		if s := r.procs[pc].slow; s != 1 {
 			cost *= s
@@ -668,6 +686,25 @@ func (r *runner) kickIdle() {
 	}
 }
 
+// topoScaled applies the topology's migration transient multiplier to a
+// model-charged execution time: a packet whose entity last completed on
+// a different core pays t_warm + scale·(T(x) − t_warm), where scale
+// depends on whether the migration crosses a socket. The warm floor
+// never scales — it is a property of the code path, not of where the
+// stale state lives — and an entity's very first run anywhere has no
+// state to fetch, so it pays the plain cold charge. Callers guard with
+// r.topo != nil (nil whenever no multiplier differs from 1), keeping
+// the flat machine bit-identical to the topology-free runner.
+func (r *runner) topoScaled(texec float64, entity, proc int) float64 {
+	if last := r.lastProcOf[entity]; last >= 0 && last != proc {
+		if s := r.topo.TransientScale(last, proc); s != 1 {
+			w := r.exec.Warm()
+			texec = w + s*(texec-w)
+		}
+	}
+	return texec
+}
+
 // xRefs returns the displacing references entity e has suffered on proc
 // since it last completed there, or +Inf if it never ran there.
 func (r *runner) xRefs(e, proc int) float64 {
@@ -800,6 +837,9 @@ func (r *runner) beginService(pkt sched.Packet, proc int, fromIdle, locked bool,
 
 	x := r.xRefs(pkt.Entity, proc)
 	texec, f1 := r.exec.ExecTimeF1(x)
+	if r.topo != nil {
+		texec = r.topoScaled(texec, pkt.Entity, proc)
+	}
 	exec := texec + r.p.DataTouch
 	if ps.slow != 1 {
 		// Transient slow-down fault: scale the charged execution. Guarded
@@ -895,6 +935,9 @@ func (r *runner) settleCompletion(pkt sched.Packet, proc int, protoExec float64)
 		r.streamMaxDone[pkt.Stream] = pkt.StreamSeq
 	} else {
 		r.reordered++
+		if r.streamReordered == nil {
+			r.streamReordered = make(map[int]uint64)
+		}
 		r.streamReordered[pkt.Stream]++
 		if d := r.streamMaxDone[pkt.Stream] - pkt.StreamSeq; d > r.maxReorderDist {
 			r.maxReorderDist = d
@@ -1111,7 +1154,7 @@ func (r *runner) results() Results {
 
 		ReorderedTotal:     r.reordered,
 		MaxReorderDistance: r.maxReorderDist,
-		PerStreamReordered: append([]uint64(nil), r.streamReordered...),
+		PerStreamReordered: r.streamReordered, // runner-owned; nil when in order
 	}
 	res.P95Delay, res.P95Clamped = r.delayHist.QuantileClamped(0.95)
 	res.DelayOverflow = r.delayHist.OverflowFraction()

@@ -8,6 +8,7 @@ import (
 	"affinity/internal/des"
 	"affinity/internal/faults"
 	"affinity/internal/sched"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 	"affinity/internal/workload"
 )
@@ -77,6 +78,24 @@ func shardMatrix() []shardCase {
 				p:    p,
 			})
 		}
+	}
+	// NUMA + hash-dispatch extension: shard invariance must also hold
+	// when the topology charges cross-socket transients and when the
+	// dispatcher is hash-based — including a Flow Director run bursty
+	// enough that rebalancing (and therefore reordering) actually fires
+	// under K>1.
+	numa := &topo.Topology{Sockets: 2, CoresPerSocket: 4,
+		SameSocketTransient: 1.1, CrossSocketTransient: 1.8}
+	for _, k := range []sched.Kind{sched.MRU, sched.RSS, sched.FlowDirector} {
+		p := quick(Locking, k)
+		p.Processors = 8
+		p.Topology = numa
+		p.Arrival = traffic.Batch{PacketsPerSec: 2500, MeanBurst: 16}
+		p.MeasuredPackets = 1200
+		cases = append(cases, shardCase{
+			name: "numa/" + k.String() + "/batch/healthy",
+			p:    p,
+		})
 	}
 	return cases
 }

@@ -18,6 +18,7 @@ import (
 	"affinity/internal/faults"
 	"affinity/internal/obs"
 	"affinity/internal/sched"
+	"affinity/internal/topo"
 	"affinity/internal/traffic"
 	"affinity/internal/workload"
 )
@@ -63,6 +64,16 @@ type Params struct {
 	Processors int // 0 selects the model platform's processor count
 	Streams    int
 	Stacks     int // IPS only; 0 selects min(Streams, Processors)
+
+	// Topology, when non-nil, shapes the processors into sockets × cores
+	// with per-level reload transients: a migrating packet's reload
+	// transient is scaled by topo.TransientScale(last, chosen) — 1 within
+	// a core, SameSocketTransient within a socket, CrossSocketTransient
+	// across sockets (see internal/topo). nil (or any 1-socket topology)
+	// is the paper's flat machine and leaves every charge bit-identical
+	// to the topology-free model. When Processors is 0 the topology's
+	// core count supplies it; otherwise the two must agree.
+	Topology *topo.Topology
 
 	// Arrival is the per-stream arrival process.
 	Arrival traffic.Spec
@@ -114,6 +125,18 @@ type Params struct {
 	// bounded scan, as a real dispatcher running under the queue lock
 	// would use.
 	MRULookahead int
+
+	// FDRebalance is the FlowDirector re-home trigger depth: a flow
+	// whose home queue already holds this many waiting packets is
+	// re-homed to a less-loaded core (see sched.HashConfig.Rebalance).
+	// 0 selects the default (sched.DefaultRebalance); a negative value
+	// disables rebalancing, making FlowDirector behave exactly like RSS.
+	// Ignored by every other policy.
+	FDRebalance int
+
+	// HashIdentity replaces the hash-dispatch policies' stream-hash mix
+	// with the identity function (diagnostic; see sched.HashConfig).
+	HashIdentity bool
 
 	Seed int64
 
@@ -198,7 +221,11 @@ func (p Params) WithDefaults() Params {
 		p.Model = core.NewModel()
 	}
 	if p.Processors == 0 {
-		p.Processors = p.Model.Platform.Processors
+		if p.Topology != nil {
+			p.Processors = p.Topology.Processors()
+		} else {
+			p.Processors = p.Model.Platform.Processors
+		}
 	}
 	if p.Workload != nil && p.ArrivalPerStream == nil {
 		// Expand only when the expansion is coherent; otherwise leave
@@ -224,6 +251,9 @@ func (p Params) WithDefaults() Params {
 	}
 	if p.MRULookahead == 0 {
 		p.MRULookahead = 4
+	}
+	if p.Policy == sched.FlowDirector && p.FDRebalance == 0 {
+		p.FDRebalance = sched.DefaultRebalance
 	}
 	if p.Paradigm == Locking || p.Paradigm == Hybrid {
 		if p.LockOverhead == 0 {
@@ -290,6 +320,11 @@ func (p Params) Validate() error {
 	}
 	if p.Processors <= 0 || p.Streams <= 0 {
 		return fmt.Errorf("sim: processors %d / streams %d must be positive", p.Processors, p.Streams)
+	}
+	if p.Topology != nil {
+		if err := p.Topology.Validate(p.Processors); err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
 	}
 	if p.ArrivalPerStream != nil && len(p.ArrivalPerStream) != p.Streams {
 		return fmt.Errorf("sim: %d per-stream arrival specs for %d streams",
@@ -389,12 +424,14 @@ type Results struct {
 	// the per-stream reordering a migrating policy inflicts on TCP-like
 	// flows. MaxReorderDistance is the worst displacement observed, in
 	// packets of the stream's arrival order; PerStreamReordered splits
-	// the count by stream. Policies that serve each stream through one
-	// serial FIFO (Wired-Streams without faults) are zero by
-	// construction.
+	// the count by stream, holding only streams that actually reordered
+	// (nil when none did — most runs — so a million-stream run that
+	// never reorders allocates nothing for it). Policies that serve each
+	// stream through one serial FIFO (Wired-Streams and RSS without
+	// faults) are zero by construction.
 	ReorderedTotal     uint64
 	MaxReorderDistance uint64
-	PerStreamReordered []uint64
+	PerStreamReordered map[int]uint64
 
 	// Dropped counts packets that left the system unserved — rejected
 	// by a full bounded queue (MaxQueueDepth) or removed by injected
