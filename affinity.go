@@ -49,6 +49,7 @@ import (
 	"affinity/internal/faults"
 	"affinity/internal/live"
 	"affinity/internal/obs"
+	"affinity/internal/policysearch"
 	"affinity/internal/sched"
 	"affinity/internal/sim"
 	"affinity/internal/topo"
@@ -150,7 +151,21 @@ const (
 	// a stream when its processor's queue backs up — trading in-flight
 	// packet reordering for load balance.
 	FlowDirector = sched.FlowDirector
+	// AffinitySteal is the parameterized affinity/work-stealing family
+	// (Params.Steal): warm-preferred placement with a gated steal of
+	// another stream's head packet. Its corners reduce bit-for-bit to
+	// FCFS (zero Steal), MRU (ColdBias 1) and WiredStreams (Penalty
+	// +Inf); interior points are policies the paper never evaluated.
+	AffinitySteal = sched.AffinitySteal
 )
+
+// StealParams parameterizes the AffinitySteal policy family
+// (Params.Steal): Penalty is the minimum queueing age (µs) a packet
+// must reach before a cold processor may steal it, DepthThreshold the
+// backlog a cold processor must see before stealing at all, and
+// ColdBias ∈ [0, 1] how strongly placement prefers a warm processor
+// over an idle cold one.
+type StealParams = sched.StealParams
 
 // Topology describes the machine as sockets × cores with per-level
 // reload-transient multipliers: a packet migrating within a socket pays
@@ -477,6 +492,83 @@ func AnalyzeLedger(ds []Decision) LedgerReport { return obs.AnalyzeLedger(ds) }
 // ReorderingByStream reconstructs each stream's arrival order from an
 // event stream and reports its out-of-order completions.
 func ReorderingByStream(events []ObsEvent) []StreamReorder { return obs.ReorderingByStream(events) }
+
+// Policy-search and counterfactual-replay types
+// (internal/policysearch): record a run's full decision ledger, replay
+// it with individual decisions substituted (everything else bit-
+// identical up to the divergence point), and search the AffinitySteal
+// parameter space for the fittest configuration on a workload.
+type (
+	// SearchSpace is the AffinitySteal grid a search sweeps.
+	SearchSpace = policysearch.Space
+	// SearchWeights scores a run: mean delay plus clamped tail,
+	// unfairness and goodput-shortfall guardrails.
+	SearchWeights = policysearch.Weights
+	// SearchReport is a completed search: the winner, the full grid,
+	// and how many configurations were evaluated.
+	SearchReport = policysearch.Report
+	// SearchCandidate is one evaluated configuration.
+	SearchCandidate = policysearch.Candidate
+	// Substitution forces one decision ordinal to a given processor
+	// during a replay.
+	Substitution = policysearch.Substitution
+	// Counterfactual is one substituted replay: the decision, its
+	// one-step predicted gain (regret) and the realized ground-truth
+	// gain from full re-simulation.
+	Counterfactual = policysearch.Counterfactual
+	// LedgerRecorder is an unbounded in-memory decision ledger — the
+	// recording half of counterfactual replay.
+	LedgerRecorder = obs.LedgerRecorder
+)
+
+// NewLedgerRecorder returns an empty unbounded decision ledger; set it
+// as Params.DecisionRecorder (or let FactualRun wire it) to capture
+// every scheduling decision with its full candidate set.
+func NewLedgerRecorder() *LedgerRecorder { return obs.NewLedgerRecorder() }
+
+// FactualRun executes p on the DES backend while recording its
+// complete decision ledger. An existing Params.DecisionRecorder still
+// sees every decision (the ledger tees).
+func FactualRun(p Params) (Results, *LedgerRecorder) { return policysearch.Factual(p) }
+
+// ReplayRun re-executes p with the given substitutions forced in;
+// ordinals or processors that never arise are no-ops. With no
+// substitutions the replay is bit-identical to the factual run.
+func ReplayRun(p Params, subs []Substitution) (Results, *LedgerRecorder) {
+	return policysearch.Replay(p, subs)
+}
+
+// ReplayFactual replays every recorded choice verbatim — the
+// zero-perturbation identity check (bit-identical Results).
+func ReplayFactual(p Params, ledger *LedgerRecorder) Results {
+	return policysearch.ReplayFactual(p, ledger)
+}
+
+// TopCounterfactuals substitutes the cheapest alternative into each of
+// the k highest-regret decisions, one at a time, returning predicted
+// vs realized gains in descending predicted order.
+func TopCounterfactuals(p Params, factual Results, ledger *LedgerRecorder, k int) []Counterfactual {
+	return policysearch.TopK(p, factual, ledger, k)
+}
+
+// SearchStealPolicies grid-searches the AffinitySteal space on base's
+// workload through the memoizing pool, then refines the winner by
+// coordinate descent. Deterministic for fixed inputs at any pool width.
+func SearchStealPolicies(pool *Pool, base Params, space SearchSpace, w SearchWeights) SearchReport {
+	return policysearch.Search(pool, base, space, w)
+}
+
+// DefaultSearchSpace returns the standard grid, which contains the
+// three reduction corners (FCFS, MRU, WiredStreams).
+func DefaultSearchSpace() SearchSpace { return policysearch.DefaultSpace() }
+
+// DefaultSearchWeights returns mean-delay-dominated weights with tail,
+// fairness and goodput guardrails.
+func DefaultSearchWeights() SearchWeights { return policysearch.DefaultWeights() }
+
+// PolicyFitness scores a run's Results under the given weights (lower
+// is better).
+func PolicyFitness(r Results, w SearchWeights) float64 { return policysearch.Fitness(r, w) }
 
 // Experiment types: the per-table/per-figure reproduction suite.
 type (

@@ -58,8 +58,8 @@ func TestPublicBackgrounds(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	all := affinity.Experiments()
-	if len(all) != 36 {
-		t.Fatalf("Experiments() = %d entries, want 36", len(all))
+	if len(all) != 38 {
+		t.Fatalf("Experiments() = %d entries, want 38", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

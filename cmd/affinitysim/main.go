@@ -17,8 +17,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"affinity"
@@ -45,7 +47,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
 		backend   = flag.String("backend", "des", "execution backend: des (deterministic discrete-event simulation) | live (real goroutines, statistically reproducible)")
 		paradigm  = flag.String("paradigm", "locking", "parallelization: locking | ips | hybrid")
-		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired|rss|flowdir; ips: wired|mru|random")
+		policy    = flag.String("policy", "mru", "locking: fcfs|mru|pools|wired|rss|flowdir|steal[:penalty,depth,bias]; ips: wired|mru|random")
 		streams   = flag.Int("streams", 8, "number of packet streams")
 		stacks    = flag.Int("stacks", 0, "independent stacks (ips only; 0 = min(streams, processors))")
 		procs     = flag.Int("processors", 0, "processors (0 = platform default of 8, or the -topology shape)")
@@ -110,11 +112,20 @@ func main() {
 	switch strings.ToLower(*paradigm) {
 	case "locking":
 		p.Paradigm = affinity.Locking
-		pol, ok := policies[strings.ToLower(*policy)]
-		if !ok || !pol.ForLocking() {
-			fail("unknown locking policy %q (fcfs|mru|pools|wired|rss|flowdir)", *policy)
+		if name := strings.ToLower(*policy); name == "steal" || strings.HasPrefix(name, "steal:") {
+			sp, err := parseSteal(name)
+			if err != nil {
+				fail("%v", err)
+			}
+			p.Policy = affinity.AffinitySteal
+			p.Steal = sp
+		} else {
+			pol, ok := policies[name]
+			if !ok || !pol.ForLocking() {
+				fail("unknown locking policy %q (fcfs|mru|pools|wired|rss|flowdir|steal[:penalty,depth,bias])", *policy)
+			}
+			p.Policy = pol
 		}
-		p.Policy = pol
 	case "ips":
 		p.Paradigm = affinity.IPS
 		pol, ok := ipsPolicies[strings.ToLower(*policy)]
@@ -420,6 +431,43 @@ func printResults(r affinity.Results) {
 	if r.Saturated {
 		fmt.Printf("SATURATED: offered load exceeds sustainable throughput (%d packets still queued)\n", r.QueueAtEnd)
 	}
+}
+
+// parseSteal parses the -policy steal syntax: bare "steal" is the
+// (0,0,0) corner (= FCFS), "steal:penalty,depth,bias" sets all three
+// parameters, with "inf" accepted for the penalty (= the statically
+// pinned Wired-Streams mode). Domain errors (negative values, bias
+// outside [0,1]) are caught by Params.Validate after parsing.
+func parseSteal(name string) (affinity.StealParams, error) {
+	var sp affinity.StealParams
+	if name == "steal" {
+		return sp, nil
+	}
+	spec := strings.TrimPrefix(name, "steal:")
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return sp, fmt.Errorf("malformed steal policy %q (want steal:penalty,depth,bias, e.g. steal:25,2,1 or steal:inf,0,0)", name)
+	}
+	if parts[0] == "inf" || parts[0] == "+inf" {
+		sp.Penalty = math.Inf(1)
+	} else {
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return sp, fmt.Errorf("steal penalty %q: %v", parts[0], err)
+		}
+		sp.Penalty = v
+	}
+	d, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return sp, fmt.Errorf("steal depth threshold %q: %v", parts[1], err)
+	}
+	sp.DepthThreshold = d
+	b, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return sp, fmt.Errorf("steal cold bias %q: %v", parts[2], err)
+	}
+	sp.ColdBias = b
+	return sp, nil
 }
 
 func fail(format string, args ...any) {

@@ -181,6 +181,8 @@ func All() []Experiment {
 		{"E32", "Scheduling policies on one replayed ON/OFF burst trace", FigE32},
 		{"E33", "NUMA topology sweep: MRU vs Wired-Streams vs cross-socket transient cost", FigE33},
 		{"E34", "Hash dispatch (RSS, Flow Director) vs MRU on bursty Zipf traffic", FigE34},
+		{"E35", "Searched affinity-steal policy vs the five paper policies on Zipf burst traffic", FigE35},
+		{"E36", "Counterfactual regret: one-step prediction vs ground-truth re-simulation", FigE36},
 	}
 }
 

@@ -218,6 +218,12 @@ func (t *traceSink) Record(e obs.Event) {
 }
 
 func newLive(p sim.Params) *live {
+	if p.DecisionOverride != nil {
+		// Counterfactual replay needs the DES's bit determinism: worker
+		// interleaving would make the live decision ordinals drift from
+		// the ledger they were recorded against.
+		panic("live: Params.DecisionOverride is DES-only")
+	}
 	entities := entityCount(p)
 	r := &live{
 		p:          p,
@@ -260,8 +266,9 @@ func newLive(p sim.Params) *live {
 	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
 	if p.Paradigm == sim.Locking {
-		r.disp = sched.NewPacketDispatcherHash(p.Policy, p.Processors, schedRNG, p.MRULookahead,
-			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity})
+		r.disp = sched.NewPacketDispatcherFull(p.Policy, p.Processors, schedRNG, p.MRULookahead,
+			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity},
+			sched.StealConfig{StealParams: p.Steal, Now: r.clk.Now})
 	} else {
 		r.sdisp = sched.NewStackDispatcherLookahead(p.Policy, p.Stacks, p.Processors, schedRNG, p.MRULookahead)
 		r.stacks = make([]stackLive, p.Stacks)

@@ -1,0 +1,68 @@
+package live_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"affinity/internal/live"
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+	"affinity/internal/traffic"
+)
+
+// The live-backend half of the AffinitySteal corner contract: the same
+// degenerate parameter points that reduce to FCFS/MRU/Wired-Streams on
+// the DES must reduce on the goroutine engine too — the policy family
+// is a property of the dispatcher, not of the engine driving it.
+// Poisson arrivals keep every arrival instant distinct, so both runs
+// see the same first-seen stream order and the pinned corner's
+// first-touch round-robin homes line up with Wired-Streams'.
+func TestLiveStealCornersEqualPaperPolicies(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		params sched.StealParams
+		equals sched.Kind
+	}{
+		{"penalty0/depth0/bias0", sched.StealParams{}, sched.FCFS},
+		{"penalty0/depth0/bias1", sched.StealParams{ColdBias: 1}, sched.MRU},
+		{"penaltyInf", sched.StealParams{Penalty: math.Inf(1)}, sched.WiredStreams},
+	} {
+		ref := sim.Params{
+			Paradigm: sim.Locking, Policy: c.equals, Streams: 8, Processors: 4,
+			Arrival:         traffic.Poisson{PacketsPerSec: 1000},
+			Seed:            42,
+			MeasuredPackets: 1500,
+		}
+		fam := ref
+		fam.Policy = sched.AffinitySteal
+		fam.Steal = c.params
+		a, b := live.Run(fam), live.Run(ref)
+		if !reflect.DeepEqual(unbrand(a), unbrand(b)) {
+			t.Errorf("%s: live AffinitySteal diverged from %v\n steal: %+v\n ref:   %+v",
+				c.name, c.equals, a, b)
+		}
+	}
+}
+
+// An interior family point must run on the live backend at all — the
+// steal-age gate reads the virtual clock through StealConfig.Now, and
+// this pins that the live engine actually wired one in (a nil clock
+// panics at construction).
+func TestLiveStealInteriorRuns(t *testing.T) {
+	p := sim.Params{
+		Paradigm: sim.Locking, Policy: sched.AffinitySteal, Streams: 8, Processors: 4,
+		Steal:           sched.StealParams{Penalty: 50, DepthThreshold: 2, ColdBias: 1},
+		Arrival:         traffic.Batch{PacketsPerSec: 2500, MeanBurst: 8},
+		Seed:            42,
+		MeasuredPackets: 1500,
+	}
+	r := live.Run(p)
+	accounted := r.CompletedTotal + uint64(r.InFlightAtEnd) + uint64(r.QueueAtEnd) + r.Dropped
+	if r.Arrivals != accounted {
+		t.Errorf("live interior steal leaks packets: arrivals %d, accounted %d", r.Arrivals, accounted)
+	}
+	if r.Completed == 0 {
+		t.Error("live interior steal completed nothing")
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The ledger must copy candidate sets out of the emitter's scratch
+// buffer: the simulator reuses one buffer for every decision, so an
+// aliasing recorder would see its history rewritten by later decisions.
+func TestLedgerRecorderCopiesCandidates(t *testing.T) {
+	l := NewLedgerRecorder()
+	scratch := make([]Candidate, 3)
+	const n = 2000 // enough records to force several arena reallocations
+	for i := 0; i < n; i++ {
+		for j := range scratch {
+			scratch[j] = Candidate{Proc: j, Cost: float64(i*10 + j)}
+		}
+		l.RecordDecision(Decision{
+			Seq:        uint64(i),
+			Chosen:     i % 3,
+			Candidates: scratch[:1+i%3],
+		})
+	}
+	if l.Len() != n {
+		t.Fatalf("Len() = %d, want %d", l.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		d := l.At(i)
+		if d.Seq != uint64(i) {
+			t.Fatalf("At(%d).Seq = %d — ledger out of recording order", i, d.Seq)
+		}
+		want := make([]Candidate, 1+i%3)
+		for j := range want {
+			want[j] = Candidate{Proc: j, Cost: float64(i*10 + j)}
+		}
+		if !reflect.DeepEqual(d.Candidates, want) {
+			t.Fatalf("At(%d).Candidates = %+v, want %+v — scratch buffer aliased", i, d.Candidates, want)
+		}
+	}
+	if got := l.Decisions(); len(got) != n || &got[0] != &l.decisions[0] {
+		t.Errorf("Decisions() should expose the recorder's own storage in order")
+	}
+}
+
+// Appending to a retained candidate slice must not bleed into the next
+// decision's block (the arena blocks are capacity-clamped).
+func TestLedgerRecorderBlocksAreClamped(t *testing.T) {
+	l := NewLedgerRecorder()
+	l.RecordDecision(Decision{Seq: 0, Candidates: []Candidate{{Proc: 1}}})
+	l.RecordDecision(Decision{Seq: 1, Candidates: []Candidate{{Proc: 2}}})
+	first := l.At(0).Candidates
+	_ = append(first, Candidate{Proc: 99})
+	if got := l.At(1).Candidates[0].Proc; got != 2 {
+		t.Fatalf("appending to decision 0's candidates corrupted decision 1 (Proc = %d)", got)
+	}
+}

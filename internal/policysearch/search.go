@@ -1,0 +1,159 @@
+package policysearch
+
+import (
+	"math"
+	"sort"
+
+	"affinity/internal/sched"
+	"affinity/internal/sim"
+)
+
+// Space is the AffinitySteal parameter grid the search seeds from.
+// Axis values are evaluated in the order given; the search later
+// refines between adjacent finite values, so list each axis sorted.
+type Space struct {
+	Penalties []float64 // µs a queued packet must age before a cold steal; +Inf pins
+	Depths    []int     // queue depth below which stealing is off
+	Biases    []float64 // probability of preferring a warm idle processor, [0,1]
+}
+
+// DefaultSpace covers the family's reduction corners — (0,0,0) is
+// FCFS, (0,0,1) is MRU, (+Inf,·,·) is Wired-Streams — plus interior
+// points where the interesting policies live.
+func DefaultSpace() Space {
+	return Space{
+		Penalties: []float64{0, 25, 100, math.Inf(1)},
+		Depths:    []int{0, 2, 8},
+		Biases:    []float64{0, 0.5, 1},
+	}
+}
+
+// Candidate is one evaluated member of the policy family.
+type Candidate struct {
+	Steal   sched.StealParams
+	Fitness float64
+	Results sim.Results
+}
+
+// Report is the outcome of a Search: the winner, every grid point
+// evaluated (in grid order — penalty-major, then depth, then bias),
+// and how many evaluations the search submitted in total (the
+// memoizing pool may have simulated fewer).
+type Report struct {
+	Best      Candidate
+	Grid      []Candidate
+	Evaluated int
+}
+
+// Search finds the best AffinitySteal member for the workload base
+// describes: a full-grid sweep over space, then coordinate descent that
+// repeatedly bisects toward the best neighborhood on each axis.
+// base.Policy and base.Steal are overwritten per candidate; everything
+// else (paradigm, workload, seed, stop rule) is held fixed, so the
+// comparison is apples-to-apples and every evaluation memoizes in pool.
+//
+// The search is deterministic: candidates are evaluated in a fixed
+// order, a move is accepted only on strict fitness improvement, and
+// equal-fitness grid points keep the earliest. Run it twice — or from
+// two goroutines sharing the pool — and it returns the same Report.
+func Search(pool *sim.Pool, base sim.Params, space Space, w Weights) Report {
+	var rep Report
+	var params []sim.Params
+	var steals []sched.StealParams
+	for _, pen := range space.Penalties {
+		for _, dep := range space.Depths {
+			for _, bias := range space.Biases {
+				sp := sched.StealParams{Penalty: pen, DepthThreshold: dep, ColdBias: bias}
+				steals = append(steals, sp)
+				params = append(params, withSteal(base, sp))
+			}
+		}
+	}
+	results := pool.RunAll(params)
+	rep.Evaluated = len(results)
+	for i, res := range results {
+		c := Candidate{Steal: steals[i], Fitness: Fitness(res, w), Results: res}
+		rep.Grid = append(rep.Grid, c)
+		if i == 0 || c.Fitness < rep.Best.Fitness {
+			rep.Best = c
+		}
+	}
+
+	// Coordinate descent: from the grid winner, probe midpoints toward
+	// each axis neighbor (±1 steps for the integer depth axis), move on
+	// strict improvement, stop when a full pass over the axes stands
+	// still. Midpoints next to +Inf are skipped — there is no halfway
+	// point to pinning.
+	pens := sortedF(space.Penalties)
+	biases := sortedF(space.Biases)
+	for pass := 0; pass < 4; pass++ {
+		moved := false
+		cur := rep.Best.Steal
+		for _, next := range []sched.StealParams{
+			{Penalty: midToward(cur.Penalty, pens, -1), DepthThreshold: cur.DepthThreshold, ColdBias: cur.ColdBias},
+			{Penalty: midToward(cur.Penalty, pens, +1), DepthThreshold: cur.DepthThreshold, ColdBias: cur.ColdBias},
+			{Penalty: cur.Penalty, DepthThreshold: cur.DepthThreshold - 1, ColdBias: cur.ColdBias},
+			{Penalty: cur.Penalty, DepthThreshold: cur.DepthThreshold + 1, ColdBias: cur.ColdBias},
+			{Penalty: cur.Penalty, DepthThreshold: cur.DepthThreshold, ColdBias: midToward(cur.ColdBias, biases, -1)},
+			{Penalty: cur.Penalty, DepthThreshold: cur.DepthThreshold, ColdBias: midToward(cur.ColdBias, biases, +1)},
+		} {
+			if next == rep.Best.Steal || !valid(next) {
+				continue
+			}
+			res := pool.Run(withSteal(base, next))
+			rep.Evaluated++
+			if f := Fitness(res, w); f < rep.Best.Fitness {
+				rep.Best = Candidate{Steal: next, Fitness: f, Results: res}
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return rep
+}
+
+func withSteal(base sim.Params, sp sched.StealParams) sim.Params {
+	base.Policy = sched.AffinitySteal
+	base.Steal = sp
+	return base
+}
+
+func valid(sp sched.StealParams) bool {
+	return sp.Penalty >= 0 && sp.DepthThreshold >= 0 &&
+		sp.ColdBias >= 0 && sp.ColdBias <= 1
+}
+
+func sortedF(xs []float64) []float64 {
+	out := append([]float64(nil), xs...)
+	sort.Float64s(out)
+	return out
+}
+
+// midToward returns the midpoint between v and its nearest axis value
+// in direction dir (-1 below, +1 above), or v itself when there is no
+// finite neighbor that way — midpoints with ±Inf don't exist, and a
+// returned v is discarded by the caller's no-op check.
+func midToward(v float64, axis []float64, dir int) float64 {
+	if math.IsInf(v, 0) {
+		return v
+	}
+	best := math.Inf(dir)
+	found := false
+	for _, a := range axis {
+		if math.IsInf(a, 0) {
+			continue
+		}
+		if dir < 0 && a < v && (!found || a > best) {
+			best, found = a, true
+		}
+		if dir > 0 && a > v && (!found || a < best) {
+			best, found = a, true
+		}
+	}
+	if !found {
+		return v
+	}
+	return (v + best) / 2
+}

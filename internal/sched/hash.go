@@ -24,9 +24,25 @@ import "sort"
 //	               rebalance point can complete packets out of arrival
 //	               order — the reordering pathology the paper measures.
 
-// hashTableSize is the indirection-table length: 128 entries, as in the
-// RSS redirection tables of the NICs both papers measure.
-const hashTableSize = 128
+// minHashTableSize is the smallest indirection-table length: 128
+// entries, as in the RSS redirection tables of the NICs both papers
+// measure. tableSizeFor grows it for larger machines.
+const minHashTableSize = 128
+
+// tableSizeFor returns the indirection-table length for n processors:
+// the smallest power of two that is both ≥ minHashTableSize and ≥ 2×n.
+// A fixed 128-entry table on a 1024-core topology would leave 7 of
+// every 8 cores with no bucket at all; doubling until the table holds
+// at least two buckets per core keeps the driver's round-robin fill
+// covering every core while staying byte-identical to the historical
+// constant for the ≤ 64-core machines the goldens pin.
+func tableSizeFor(n int) int {
+	size := minHashTableSize
+	for size < 2*n {
+		size *= 2
+	}
+	return size
+}
 
 // HashConfig configures the hash-dispatch policies; the zero value
 // selects the defaults.
@@ -66,8 +82,9 @@ func newHashed(kind Kind, n int, hc HashConfig) *hashed {
 	if hc.Rebalance == 0 {
 		hc.Rebalance = DefaultRebalance
 	}
-	table := make([]int, hashTableSize)
-	canon := make([]int, hashTableSize)
+	size := tableSizeFor(n)
+	table := make([]int, size)
+	canon := make([]int, size)
 	for i := range table {
 		table[i] = i % n
 		canon[i] = i % n

@@ -228,3 +228,61 @@ func TestHashedDispatcherNames(t *testing.T) {
 		}
 	}
 }
+
+// The indirection table must scale with the machine: the historical
+// 128-entry constant is the floor (so every pre-existing golden at ≤ 64
+// cores is byte-identical), and beyond 64 cores the table doubles until
+// it holds at least two buckets per core — the O(cores) audit item from
+// the thousand-core ROADMAP work. Power-of-two sizes keep the masking
+// arithmetic of real RSS hardware.
+func TestIndirectionTableScalesWithCores(t *testing.T) {
+	cases := []struct{ cores, want int }{
+		{1, 128},
+		{8, 128},
+		{64, 128}, // exactly 2×64: the historical constant still fits
+		{65, 256},
+		{128, 256},
+		{500, 1024},
+		{1024, 2048},
+	}
+	for _, c := range cases {
+		if got := tableSizeFor(c.cores); got != c.want {
+			t.Errorf("tableSizeFor(%d) = %d, want %d", c.cores, got, c.want)
+		}
+	}
+}
+
+// Regression at the 1024-core topology: with the fixed 128-entry table,
+// cores 128..1023 never appeared in the table and could not be hashed
+// to. Every core must own at least one bucket (the i%n fill gives each
+// exactly tableSize/n once tableSize ≥ 2n), and RSS placement must
+// actually reach a high core.
+func TestRSSCoversAllCoresAt1024(t *testing.T) {
+	const n = 1024
+	d := idPD(RSS, n, 0).(*hashed)
+	if len(d.table) != tableSizeFor(n) {
+		t.Fatalf("table length %d, want %d", len(d.table), tableSizeFor(n))
+	}
+	seen := make([]int, n)
+	for _, proc := range d.table {
+		if proc < 0 || proc >= n {
+			t.Fatalf("table entry %d out of range", proc)
+		}
+		seen[proc]++
+	}
+	for proc, buckets := range seen {
+		if buckets == 0 {
+			t.Fatalf("core %d owns no indirection-table bucket", proc)
+		}
+	}
+	// Identity hashing: entity e lands in bucket e, whose home is
+	// e % 1024 — a stream must be placeable on core 1023.
+	if got := d.PickProcessor(pkt(1023), []int{1023}); got != 1023 {
+		t.Fatalf("entity 1023 placed on %d, want core 1023", got)
+	}
+	// And the full dispatch cycle works at this scale.
+	d.Enqueue(pkt(777))
+	if got, ok := d.Dispatch(777); !ok || got.Entity != 777 {
+		t.Fatalf("core 777 failed to dispatch its queued packet: %+v %v", got, ok)
+	}
+}

@@ -72,6 +72,11 @@ const (
 	// its earlier packets still wait at the old one — reproducing the
 	// in-flight reordering pathology of arXiv:1106.0443.
 	FlowDirector
+	// AffinitySteal is the parameterized work-stealing family (see
+	// steal.go): steal penalty, depth threshold and cold-start bias span
+	// a space whose corners reduce bit-for-bit to WiredStreams, FCFS and
+	// MRU, searched by internal/policysearch.
+	AffinitySteal
 
 	// kindCount sentinel: keep last.
 	kindCount
@@ -97,6 +102,8 @@ func (k Kind) String() string {
 		return "RSS"
 	case FlowDirector:
 		return "FlowDirector"
+	case AffinitySteal:
+		return "AffinitySteal"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -111,7 +118,7 @@ func (k Kind) String() string {
 // new Kind joins neither paradigm.
 func (k Kind) ForLocking() bool {
 	switch k {
-	case FCFS, MRU, ThreadPools, WiredStreams, RSS, FlowDirector:
+	case FCFS, MRU, ThreadPools, WiredStreams, RSS, FlowDirector, AffinitySteal:
 		return true
 	}
 	return false
@@ -215,8 +222,17 @@ func NewPacketDispatcherLookahead(k Kind, n int, rng *des.RNG, lookahead int) Pa
 // NewPacketDispatcherHash is NewPacketDispatcherLookahead with an
 // explicit configuration for the hash-dispatch policies (RSS,
 // FlowDirector); the zero HashConfig selects their defaults and is
-// ignored by every other kind.
+// ignored by every other kind. AffinitySteal built through this
+// constructor gets the zero StealConfig — the FCFS corner.
 func NewPacketDispatcherHash(k Kind, n int, rng *des.RNG, lookahead int, hc HashConfig) PacketDispatcher {
+	return NewPacketDispatcherFull(k, n, rng, lookahead, hc, StealConfig{})
+}
+
+// NewPacketDispatcherFull is the fully explicit Locking-dispatcher
+// constructor: hash configuration for RSS/FlowDirector plus the
+// AffinitySteal family point and clock; each is ignored by the kinds it
+// does not apply to.
+func NewPacketDispatcherFull(k Kind, n int, rng *des.RNG, lookahead int, hc HashConfig, sc StealConfig) PacketDispatcher {
 	if lookahead < 1 {
 		lookahead = 1
 	}
@@ -234,6 +250,8 @@ func NewPacketDispatcherHash(k Kind, n int, rng *des.RNG, lookahead int, hc Hash
 		return newHashed(RSS, n, hc)
 	case FlowDirector:
 		return newHashed(FlowDirector, n, hc)
+	case AffinitySteal:
+		return newSteal(n, rng, lookahead, sc)
 	default:
 		panic(fmt.Sprintf("sched: %v is not a Locking policy", k))
 	}
@@ -570,6 +588,14 @@ func (f *fifo) pop() (Packet, bool) {
 }
 
 func (f *fifo) len() int { return len(f.items) - f.head }
+
+// peek returns the head packet without removing it.
+func (f *fifo) peek() (Packet, bool) {
+	if f.head == len(f.items) {
+		return Packet{}, false
+	}
+	return f.items[f.head], true
+}
 
 // indexWhereN returns the position (0 = head) of the first packet among
 // the first n that satisfies pred, or -1.

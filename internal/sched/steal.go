@@ -1,0 +1,348 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"affinity/internal/des"
+)
+
+// This file implements the AffinitySteal policy family: a work-stealing
+// packet dispatcher parameterized by (Penalty, DepthThreshold, ColdBias)
+// whose corner points reduce — bit for bit, RNG draw for RNG draw — to
+// the paper's fixed policies:
+//
+//	Penalty = +Inf                        ≡ WiredStreams (static pinning)
+//	Penalty = 0, DepthThreshold = 0,
+//	ColdBias = 0                          ≡ FCFS (blind work conservation)
+//	Penalty = 0, DepthThreshold = 0,
+//	ColdBias = 1                          ≡ MRU (warm preference, same
+//	                                        bounded dispatch lookahead)
+//
+// Between the corners the family spans policies the paper never
+// evaluates: a cold processor may take ("steal") a queued packet that is
+// warm elsewhere only once the backlog has grown to DepthThreshold AND
+// the packet has waited at least Penalty µs — an affinity-aware steal
+// delay in the spirit of arXiv:1810.09442 — while ColdBias in (0, 1)
+// prefers the warm processor probabilistically. internal/policysearch
+// searches this space for configurations that beat every fixed policy.
+
+// StealParams is the point in the AffinitySteal family's parameter
+// space. The zero value is the FCFS corner.
+type StealParams struct {
+	// Penalty is the time (µs) a queued packet must have waited before a
+	// processor it is not warm on may steal it at dispatch. 0 allows
+	// immediate stealing; +Inf switches the dispatcher into pinned mode
+	// (per-processor queues with first-touch round-robin homes — the
+	// Wired-Streams structure — where stealing never happens at all).
+	Penalty float64
+	// DepthThreshold is the backlog the queue must hold before a cold
+	// steal is allowed; 0 never blocks on depth.
+	DepthThreshold int
+	// ColdBias is the warm-preference strength in [0, 1]: 0 places and
+	// dispatches blindly (FCFS-like), 1 always prefers the warm
+	// processor (MRU-like), fractional values prefer it with that
+	// probability at placement.
+	ColdBias float64
+}
+
+// Pinned reports whether the parameters select the statically pinned
+// (Wired-Streams-structured) mode.
+func (s StealParams) Pinned() bool { return math.IsInf(s.Penalty, 1) }
+
+// StealConfig is StealParams plus the runtime hookup: Now supplies the
+// current virtual time for the steal-penalty age test. Both backends
+// wire their clock in; it may be nil when Penalty is 0 or +Inf (the age
+// test is never evaluated at those settings).
+type StealConfig struct {
+	StealParams
+	Now func() des.Time
+}
+
+// steal implements PacketDispatcher for the AffinitySteal family. It
+// runs in one of two structural modes fixed at construction:
+//
+//   - pinned (Penalty = +Inf): per-processor queues, first-touch
+//     round-robin homes with fault re-homing and failback — an
+//     independent implementation of the Wired-Streams discipline (the
+//     corner-equivalence tests compare it against pools, so the two
+//     code bodies check each other);
+//   - work-conserving (finite Penalty): one central arrival-ordered
+//     queue plus a last-ran warm map, with the steal gate applied when
+//     a processor pulls queued work it is not warm on.
+type steal struct {
+	affinityCount
+	p         StealParams
+	now       func() des.Time
+	lookahead int
+	rng       *des.RNG
+
+	// Work-conserving mode.
+	q    fifo
+	warm map[int]int // entity → processor it last ran on
+
+	// Pinned mode.
+	queues   []fifo
+	home     map[int]int
+	pref     map[int]int // entity → original home, the failback target
+	avail    []bool
+	nextHome int
+}
+
+func newSteal(n int, rng *des.RNG, lookahead int, sc StealConfig) *steal {
+	s := &steal{p: sc.StealParams, now: sc.Now, lookahead: lookahead, rng: rng}
+	if s.p.Pinned() {
+		s.queues = make([]fifo, n)
+		s.home = map[int]int{}
+		s.pref = map[int]int{}
+		s.avail = make([]bool, n)
+		for i := range s.avail {
+			s.avail[i] = true
+		}
+		return s
+	}
+	s.warm = map[int]int{}
+	if s.p.Penalty > 0 && s.now == nil {
+		panic("sched: AffinitySteal with a finite non-zero Penalty needs StealConfig.Now")
+	}
+	return s
+}
+
+func (*steal) Name() string { return AffinitySteal.String() }
+
+// homeOf assigns first-touch round-robin homes in pinned mode, exactly
+// like pools.homeOf.
+func (s *steal) homeOf(entity int) int {
+	h, ok := s.home[entity]
+	if !ok {
+		h = s.nextAvailHome()
+		s.home[entity] = h
+		s.pref[entity] = h
+	}
+	return h
+}
+
+func (s *steal) nextAvailHome() int {
+	n := len(s.queues)
+	for range s.queues {
+		h := s.nextHome % n
+		s.nextHome++
+		if s.avail[h] {
+			return h
+		}
+	}
+	h := s.nextHome % n
+	s.nextHome++
+	return h
+}
+
+func (s *steal) PickProcessor(pk Packet, idle []int) int {
+	if s.p.Pinned() {
+		h := s.homeOf(pk.Entity)
+		for _, i := range idle {
+			if i == h {
+				s.note(true)
+				return h
+			}
+		}
+		return -1 // wait for the home processor (no decision)
+	}
+	if s.p.ColdBias > 0 {
+		if proc, ok := s.warm[pk.Entity]; ok {
+			for _, i := range idle {
+				if i == proc {
+					// ColdBias = 1 takes the warm processor outright
+					// (no RNG draw — the MRU corner's draw sequence);
+					// fractional bias takes it with that probability.
+					if s.p.ColdBias == 1 || s.rng.Float64() < s.p.ColdBias {
+						s.note(true)
+						return proc
+					}
+					break
+				}
+			}
+		}
+	}
+	s.note(false)
+	return idle[s.rng.Intn(len(idle))]
+}
+
+func (s *steal) Enqueue(pk Packet) {
+	if s.p.Pinned() {
+		s.queues[s.homeOf(pk.Entity)].push(pk)
+		return
+	}
+	s.q.push(pk)
+}
+
+// stealAllowed is the family's gate: a processor the packet is not warm
+// on may take it only when the backlog has reached DepthThreshold and
+// the packet has aged past Penalty. Both corners (Penalty = 0,
+// DepthThreshold = 0) short-circuit before touching the clock.
+func (s *steal) stealAllowed(pk Packet) bool {
+	if s.q.len() < s.p.DepthThreshold {
+		return false
+	}
+	if s.p.Penalty == 0 {
+		return true
+	}
+	return float64(s.now()-pk.Arrive) >= s.p.Penalty
+}
+
+func (s *steal) Dispatch(proc int) (Packet, bool) {
+	if s.p.Pinned() {
+		if pk, ok := s.queues[proc].pop(); ok {
+			s.note(s.home[pk.Entity] == proc)
+			return pk, true
+		}
+		return Packet{}, false
+	}
+	// Warm preference first: the oldest packet within the bounded
+	// lookahead that is warm on this processor — MRU's exact scan.
+	if s.p.ColdBias > 0 {
+		if i := s.q.indexWhereN(s.lookahead, func(pk Packet) bool {
+			h, ok := s.warm[pk.Entity]
+			return ok && h == proc
+		}); i >= 0 {
+			s.note(true)
+			return s.q.removeAt(i), true
+		}
+	}
+	// The head: taking it is a steal only when it is warm on a
+	// different processor; packets with no warm state anywhere have
+	// nothing to lose by running here.
+	if pk, ok := s.q.peek(); ok {
+		h, known := s.warm[pk.Entity]
+		if !known || h == proc || s.stealAllowed(pk) {
+			s.q.pop()
+			s.note(s.p.ColdBias > 0 && known && h == proc)
+			return pk, true
+		}
+	}
+	// Steal refused: the head stays for its warm processor, but this
+	// processor may still serve the oldest packet that is warm here (or
+	// warm nowhere) rather than idle past work it owns. The scan is
+	// unbounded — it runs only on middle family points (the corners
+	// always take the head), and removeAt's prefix shift is the price
+	// of preserving arrival order among the packets left behind.
+	if i := s.q.indexWhereN(s.q.len(), func(pk Packet) bool {
+		h, known := s.warm[pk.Entity]
+		return !known || h == proc
+	}); i >= 0 {
+		pk := s.q.removeAt(i)
+		h, known := s.warm[pk.Entity]
+		s.note(s.p.ColdBias > 0 && known && h == proc)
+		return pk, true
+	}
+	return Packet{}, false
+}
+
+func (s *steal) RanOn(entity, proc int) {
+	if s.p.Pinned() {
+		return // the home map, not execution history, owns placement
+	}
+	s.warm[entity] = proc
+}
+
+func (s *steal) Queued() int {
+	if s.p.Pinned() {
+		n := 0
+		for i := range s.queues {
+			n += s.queues[i].len()
+		}
+		return n
+	}
+	return s.q.len()
+}
+
+func (s *steal) DepthFor(pk Packet) int {
+	if s.p.Pinned() {
+		return s.queues[s.homeOf(pk.Entity)].len()
+	}
+	return s.q.len()
+}
+
+// ProcDown: pinned mode re-homes entities bound to the failed processor
+// and migrates their queued packets (the Wired-Streams discipline);
+// work-conserving mode forgets warm state pointing at it (the MRU
+// discipline — its cache contents are lost).
+func (s *steal) ProcDown(proc int) {
+	if !s.p.Pinned() {
+		for e, h := range s.warm {
+			if h == proc {
+				delete(s.warm, e)
+			}
+		}
+		return
+	}
+	s.avail[proc] = false
+	var ids []int
+	for e, h := range s.home {
+		if h == proc {
+			ids = append(ids, e)
+		}
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		s.home[e] = s.nextAvailHome()
+	}
+	for {
+		pk, ok := s.queues[proc].pop()
+		if !ok {
+			break
+		}
+		s.queues[s.homeOf(pk.Entity)].push(pk)
+	}
+}
+
+// ProcUp: pinned mode fails entities originally homed here back (with
+// their queued packets, preserving per-stream FIFO order); work-
+// conserving mode needs nothing — warm state rebuilds as packets run.
+func (s *steal) ProcUp(proc int) {
+	if !s.p.Pinned() {
+		return
+	}
+	s.avail[proc] = true
+	var ids []int
+	for e, h := range s.pref {
+		if h == proc && s.home[e] != proc {
+			ids = append(ids, e)
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Ints(ids)
+	for _, e := range ids {
+		s.home[e] = proc
+	}
+	for q := range s.queues {
+		if q == proc {
+			continue
+		}
+		for _, pk := range s.queues[q].drainMatching(func(pk Packet) bool {
+			return s.home[pk.Entity] == proc
+		}) {
+			s.queues[proc].push(pk)
+		}
+	}
+}
+
+// PreferredProc mirrors the corner policy's ledger view: the home map in
+// pinned mode, the warm map when the bias prefers warmth, and none at
+// all for the blind ColdBias = 0 family members (FCFS parity).
+func (s *steal) PreferredProc(entity int) int {
+	if s.p.Pinned() {
+		if h, ok := s.home[entity]; ok {
+			return h
+		}
+		return -1
+	}
+	if s.p.ColdBias == 0 {
+		return -1
+	}
+	if h, ok := s.warm[entity]; ok {
+		return h
+	}
+	return -1
+}

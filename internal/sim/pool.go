@@ -142,7 +142,9 @@ func (pl *Pool) runLimited(p Params) Results {
 // cache entry (TestCacheKeyFieldSensitivity pins the exclusion, the
 // shard differential tests pin the equivalence it relies on).
 func CacheKey(p Params) (string, bool) {
-	if p.Recorder != nil || p.DecisionRecorder != nil {
+	// A DecisionOverride is opaque side state steering the run's
+	// decisions, so — like the recorders — it makes the run uncacheable.
+	if p.Recorder != nil || p.DecisionRecorder != nil || p.DecisionOverride != nil {
 		return "", false
 	}
 	p = p.WithDefaults()
@@ -176,6 +178,7 @@ func CacheKey(p Params) (string, bool) {
 	fmt.Fprintf(&b, "|cost:%g,%g,%g,%g", p.LockOverhead, p.LockCritFrac, p.CodeSharedFrac, p.DataTouch)
 	fmt.Fprintf(&b, "|q:%d,%d,%d", p.HybridOverflow, p.MRULookahead, p.MaxQueueDepth)
 	fmt.Fprintf(&b, "|hash:%d,%t", p.FDRebalance, p.HashIdentity)
+	fmt.Fprintf(&b, "|steal:%g,%d,%g", p.Steal.Penalty, p.Steal.DepthThreshold, p.Steal.ColdBias)
 	if p.Topology != nil {
 		// Parse round-trips String, so the rendering carries every field
 		// (shape and both transient multipliers): two runs differing only

@@ -110,6 +110,7 @@ var cacheKeyMutations = map[string]func(*Params){
 	},
 	"FDRebalance":  func(p *Params) { p.FDRebalance = 16 },
 	"HashIdentity": func(p *Params) { p.HashIdentity = true },
+	"Steal":        func(p *Params) { p.Steal = sched.StealParams{Penalty: 25, DepthThreshold: 2, ColdBias: 0.5} },
 	"Arrival":      func(p *Params) { p.Arrival = traffic.Poisson{PacketsPerSec: 801} },
 	"ArrivalPerStream": func(p *Params) {
 		p.ArrivalPerStream = []traffic.Spec{
@@ -142,7 +143,10 @@ var cacheKeyMutations = map[string]func(*Params){
 	"MaxQueueDepth":    func(p *Params) { p.MaxQueueDepth = 16 },
 	"Recorder":         func(p *Params) { p.Recorder = obs.NewMetrics() },
 	"DecisionRecorder": func(p *Params) { p.DecisionRecorder = obs.NewFlightRecorder(0, 0) },
-	"SamplePeriod":     func(p *Params) { p.SamplePeriod = 2 * des.Millisecond },
+	"DecisionOverride": func(p *Params) {
+		p.DecisionOverride = func(n uint64, pt obs.DecisionPoint, cands []int, chosen int) int { return chosen }
+	},
+	"SamplePeriod": func(p *Params) { p.SamplePeriod = 2 * des.Millisecond },
 }
 
 // CacheKey spells Params out field by field (no %#v), so a field added
@@ -175,7 +179,7 @@ func TestCacheKeyFieldSensitivity(t *testing.T) {
 		p := base
 		mutate(&p)
 		k, cacheable := CacheKey(p)
-		if name == "Recorder" || name == "DecisionRecorder" {
+		if name == "Recorder" || name == "DecisionRecorder" || name == "DecisionOverride" {
 			if cacheable {
 				t.Errorf("%s run reported cacheable", name)
 			}

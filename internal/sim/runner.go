@@ -156,6 +156,14 @@ type runner struct {
 	candScratch []obs.Candidate
 	oneProc     [1]int
 
+	// Counterfactual replay state: over is Params.DecisionOverride
+	// (call sites guard with `r.drec != nil || r.over != nil` so normal
+	// runs pay the same single branch as before), overIdx the ordinal of
+	// the next decision — counted at every decision site, recorder or
+	// not, so it matches the ledger indices a recorder would assign.
+	over    DecisionOverride
+	overIdx uint64
+
 	// Per-stream reordering state: streamSeq numbers each stream's
 	// arrivals (1-based), streamMaxDone is the highest StreamSeq
 	// completed, streamReordered the out-of-order completion count —
@@ -223,6 +231,7 @@ func newRunner(p Params) *runner {
 		perStream:  make([]stats.Accumulator, p.Streams),
 
 		drec:          p.DecisionRecorder,
+		over:          p.DecisionOverride,
 		streamSeq:     make([]uint64, p.Streams),
 		streamMaxDone: make([]uint64, p.Streams),
 	}
@@ -249,8 +258,9 @@ func newRunner(p Params) *runner {
 	r.idleScratch = make([]int, 0, p.Processors)
 	schedRNG := des.Stream(p.Seed, "sched")
 	if p.Paradigm == Locking {
-		r.disp = sched.NewPacketDispatcherHash(p.Policy, p.Processors, schedRNG, p.MRULookahead,
-			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity})
+		r.disp = sched.NewPacketDispatcherFull(p.Policy, p.Processors, schedRNG, p.MRULookahead,
+			sched.HashConfig{Rebalance: p.FDRebalance, Identity: p.HashIdentity},
+			sched.StealConfig{StealParams: p.Steal, Now: r.sim.Now})
 		r.lock = des.NewResource(r.sim, 1)
 	} else {
 		r.sdisp = sched.NewStackDispatcherLookahead(p.Policy, p.Stacks, p.Processors, schedRNG, p.MRULookahead)
@@ -325,12 +335,43 @@ func (r *runner) decide(point obs.DecisionPoint, pkt sched.Packet, cands []int, 
 	})
 }
 
-// decideDispatch publishes the single-candidate decision a processor
+// chose settles one dispatch decision: the counterfactual override (if
+// any) substitutes the choice first, then the ledger records what will
+// actually run. The override's ordinal advances at every decision site
+// whether or not a recorder is attached, so a replay run (override, no
+// recorder) counts decisions exactly as the factual run's ledger
+// numbered them. Callers guard with `r.drec != nil || r.over != nil`.
+func (r *runner) chose(point obs.DecisionPoint, pkt sched.Packet, cands []int, chosen int) int {
+	if r.over != nil {
+		forced := r.over(r.overIdx, point, cands, chosen)
+		r.overIdx++
+		if forced != chosen {
+			ok := false
+			for _, c := range cands {
+				if c == forced {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				panic("sim: decision override chose a processor outside the candidate set")
+			}
+			chosen = forced
+		}
+	}
+	if r.drec != nil {
+		r.decide(point, pkt, cands, chosen)
+	}
+	return chosen
+}
+
+// choseDispatch settles the single-candidate decision a processor
 // pulling queued work makes: the processor is fixed, the choice was
-// which work to run.
-func (r *runner) decideDispatch(pkt sched.Packet, proc int) {
+// which work to run, so an override cannot move it — but it still
+// consumes an ordinal, keeping replay numbering aligned with the ledger.
+func (r *runner) choseDispatch(pkt sched.Packet, proc int) {
 	r.oneProc[0] = proc
-	r.decide(obs.PointDispatch, pkt, r.oneProc[:], proc)
+	r.chose(obs.PointDispatch, pkt, r.oneProc[:], proc)
 }
 
 // arrivalsNames caches the per-stream RNG stream names so a run's
@@ -498,8 +539,8 @@ func (r *runner) arrive(stream int) {
 	if r.p.Paradigm == Locking {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			if proc := r.disp.PickProcessor(pkt, idle); proc >= 0 {
-				if r.drec != nil {
-					r.decide(obs.PointPlace, pkt, idle, proc)
+				if r.drec != nil || r.over != nil {
+					proc = r.chose(obs.PointPlace, pkt, idle, proc)
 				}
 				r.beginService(pkt, proc, true, true, compLocking)
 				return
@@ -523,12 +564,12 @@ func (r *runner) arrive(stream int) {
 		if idle := r.idleProcs(); len(idle) > 0 {
 			r.spills++
 			proc := idle[r.rng.Intn(len(idle))]
+			if r.drec != nil || r.over != nil {
+				proc = r.chose(obs.PointSpill, pkt, idle, proc)
+			}
 			if r.rec != nil {
 				r.emit(obs.Event{T: float64(r.sim.Now()), Kind: obs.KindSpill,
 					Proc: proc, Stream: pkt.Stream, Entity: pkt.Entity, Seq: pkt.Seq})
-			}
-			if r.drec != nil {
-				r.decide(obs.PointSpill, pkt, idle, proc)
 			}
 			r.beginService(pkt, proc, true, true, compOverflow)
 			return
@@ -563,10 +604,10 @@ func (r *runner) arrive(stream int) {
 	}
 	if idle := r.idleProcs(); len(idle) > 0 {
 		if proc := r.sdisp.PickProcessor(k, idle); proc >= 0 {
-			if r.drec != nil {
+			if r.drec != nil || r.over != nil {
 				// The stack was idle and unqueued, so the arriving packet
 				// is the one this placement runs.
-				r.decide(obs.PointPlace, pkt, idle, proc)
+				proc = r.chose(obs.PointPlace, pkt, idle, proc)
 			}
 			r.startStack(k, proc, true)
 			return
@@ -661,8 +702,8 @@ func (r *runner) kickIdle() {
 		}
 		if r.p.Paradigm == Locking {
 			if next, ok := r.disp.Dispatch(proc); ok {
-				if r.drec != nil {
-					r.decideDispatch(next, proc)
+				if r.drec != nil || r.over != nil {
+					r.choseDispatch(next, proc)
 				}
 				r.beginService(next, proc, true, true, compLocking)
 			}
@@ -670,16 +711,16 @@ func (r *runner) kickIdle() {
 		}
 		if next := r.sdisp.DispatchStack(proc); next >= 0 {
 			r.stacks[next].queued = false
-			if r.drec != nil {
-				r.decideDispatch(r.stacks[next].q.front(), proc)
+			if r.drec != nil || r.over != nil {
+				r.choseDispatch(r.stacks[next].q.front(), proc)
 			}
 			r.startStack(next, proc, true)
 			continue
 		}
 		if r.p.Paradigm == Hybrid && r.overflow.len() > 0 {
 			pkt := r.overflow.pop()
-			if r.drec != nil {
-				r.decideDispatch(pkt, proc)
+			if r.drec != nil || r.over != nil {
+				r.choseDispatch(pkt, proc)
 			}
 			r.beginService(pkt, proc, true, true, compOverflow)
 		}
@@ -983,8 +1024,8 @@ func (r *runner) completeLocking(pkt sched.Packet, proc int, protoExec float64) 
 		return
 	}
 	if next, ok := r.disp.Dispatch(proc); ok {
-		if r.drec != nil {
-			r.decideDispatch(next, proc)
+		if r.drec != nil || r.over != nil {
+			r.choseDispatch(next, proc)
 		}
 		r.beginService(next, proc, false, true, compLocking)
 		return
@@ -1010,16 +1051,16 @@ func (r *runner) completeOverflow(pkt sched.Packet, proc int, protoExec float64)
 func (r *runner) dispatchHybrid(proc int) {
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
-		if r.drec != nil {
-			r.decideDispatch(r.stacks[next].q.front(), proc)
+		if r.drec != nil || r.over != nil {
+			r.choseDispatch(r.stacks[next].q.front(), proc)
 		}
 		r.startStack(next, proc, false)
 		return
 	}
 	if r.overflow.len() > 0 {
 		pkt := r.overflow.pop()
-		if r.drec != nil {
-			r.decideDispatch(pkt, proc)
+		if r.drec != nil || r.over != nil {
+			r.choseDispatch(pkt, proc)
 		}
 		r.beginService(pkt, proc, false, true, compOverflow)
 		return
@@ -1054,8 +1095,8 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 			st.queued = true
 			r.sdisp.EnqueueStack(k)
 			r.stacks[next].queued = false
-			if r.drec != nil {
-				r.decideDispatch(r.stacks[next].q.front(), proc)
+			if r.drec != nil || r.over != nil {
+				r.choseDispatch(r.stacks[next].q.front(), proc)
 			}
 			r.startStack(next, proc, false)
 			return
@@ -1072,8 +1113,8 @@ func (r *runner) completeIPS(pkt sched.Packet, proc int, protoExec float64) {
 	}
 	if next := r.sdisp.DispatchStack(proc); next >= 0 {
 		r.stacks[next].queued = false
-		if r.drec != nil {
-			r.decideDispatch(r.stacks[next].q.front(), proc)
+		if r.drec != nil || r.over != nil {
+			r.choseDispatch(r.stacks[next].q.front(), proc)
 		}
 		r.startStack(next, proc, false)
 		return

@@ -11,6 +11,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"affinity/internal/core"
@@ -138,6 +139,13 @@ type Params struct {
 	// with the identity function (diagnostic; see sched.HashConfig).
 	HashIdentity bool
 
+	// Steal is the AffinitySteal policy family's parameter point
+	// (steal penalty µs, steal depth threshold, cold-start bias; see
+	// sched.StealParams). The zero value is the FCFS corner;
+	// Penalty = +Inf selects the statically pinned Wired-Streams mode.
+	// Ignored by every other policy.
+	Steal sched.StealParams
+
 	Seed int64
 
 	// Shards selects the sharded runner: with K > 1 the per-stream
@@ -213,7 +221,29 @@ type Params struct {
 	// functions service charging uses, so — like Recorder — a decision
 	// recorder only observes and never perturbs Results.
 	DecisionRecorder obs.DecisionRecorder
+
+	// DecisionOverride, when non-nil, substitutes dispatch decisions as
+	// the run takes them — the counterfactual replay hook (see
+	// internal/policysearch and DESIGN.md §14). It is called at every
+	// decision site, in exactly the order a DecisionRecorder observes
+	// decisions, with the decision's 0-based ordinal, its point, the
+	// candidate set and the dispatcher's factual choice, and returns the
+	// processor to run instead; the returned processor must be one of
+	// cands. The dispatcher's own choice — including its RNG draws — is
+	// made before the override applies, so an override that always
+	// returns the factual choice reproduces the original Results bit for
+	// bit, and a single substitution replays the recorded prefix exactly
+	// and free-runs from the divergence point. An attached
+	// DecisionRecorder records the substituted choice (the ledger
+	// reflects what ran). Runs with an override are never cached by
+	// sim.Pool, and the live backend rejects it (replay requires the
+	// DES's bit determinism).
+	DecisionOverride DecisionOverride
 }
+
+// DecisionOverride substitutes one run's dispatch decisions; see
+// Params.DecisionOverride.
+type DecisionOverride func(n uint64, point obs.DecisionPoint, cands []int, chosen int) int
 
 // WithDefaults returns a copy with zero fields replaced by defaults.
 func (p Params) WithDefaults() Params {
@@ -374,6 +404,17 @@ func (p Params) Validate() error {
 	}
 	if p.MaxQueueDepth < 0 {
 		return fmt.Errorf("sim: negative max queue depth %d", p.MaxQueueDepth)
+	}
+	if p.Policy == sched.AffinitySteal {
+		if math.IsNaN(p.Steal.Penalty) || p.Steal.Penalty < 0 {
+			return fmt.Errorf("sim: steal penalty %v must be ≥ 0 µs (or +Inf to pin)", p.Steal.Penalty)
+		}
+		if p.Steal.DepthThreshold < 0 {
+			return fmt.Errorf("sim: negative steal depth threshold %d", p.Steal.DepthThreshold)
+		}
+		if p.Steal.ColdBias < 0 || p.Steal.ColdBias > 1 {
+			return fmt.Errorf("sim: steal cold-start bias %v outside [0, 1]", p.Steal.ColdBias)
+		}
 	}
 	if p.Shards < 0 {
 		return fmt.Errorf("sim: negative shard count %d", p.Shards)

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"affinity/internal/des"
+	"affinity/internal/faults"
+	"affinity/internal/obs"
+	"affinity/internal/sched"
+	"affinity/internal/traffic"
+)
+
+// The AffinitySteal family's reduction contract: at each degenerate
+// parameter setting the dispatcher must make the same decisions — the
+// same RNG draws, the same affinity notes, the same ledger view — as
+// the paper policy it collapses to, so the full Results compare equal
+// bit for bit (modulo the policy name). This is what licenses searching
+// the family as a superset of the paper's policy menu: the corners ARE
+// the paper policies, not approximations of them.
+
+// stealCorners maps each degenerate parameter point to the policy it
+// must reproduce.
+var stealCorners = []struct {
+	name   string
+	params sched.StealParams
+	equals sched.Kind
+}{
+	{"penalty0/depth0/bias0", sched.StealParams{}, sched.FCFS},
+	{"penalty0/depth0/bias1", sched.StealParams{ColdBias: 1}, sched.MRU},
+	{"penaltyInf", sched.StealParams{Penalty: math.Inf(1)}, sched.WiredStreams},
+}
+
+func TestStealCornersEqualPaperPolicies(t *testing.T) {
+	workloads := map[string]func(*Params){
+		"poisson": func(p *Params) {},
+		"bursty": func(p *Params) {
+			p.Arrival = traffic.Batch{PacketsPerSec: 2500, MeanBurst: 8}
+		},
+		// Fault windows exercise ProcDown/ProcUp: MRU-style forgetting in
+		// work-conserving mode, Wired-style re-homing and failback in
+		// pinned mode. The corner must track its policy through both
+		// transitions.
+		"faults": func(p *Params) {
+			p.Faults = (&faults.Plan{}).
+				Down(100*des.Millisecond, 0).
+				Up(200*des.Millisecond, 0)
+		},
+	}
+	for _, c := range stealCorners {
+		for wname, shape := range workloads {
+			ref := quick(Locking, c.equals)
+			ref.Processors = 4
+			shape(&ref)
+			fam := ref
+			fam.Policy = sched.AffinitySteal
+			fam.Steal = c.params
+			a, b := Run(fam), Run(ref)
+			if !reflect.DeepEqual(normalizePolicy(a), normalizePolicy(b)) {
+				t.Errorf("%s/%s: AffinitySteal diverged from %v\n steal: %+v\n ref:   %+v",
+					c.name, wname, c.equals, a, b)
+			}
+		}
+	}
+}
+
+// The corner equivalence must extend to the decision ledger: same
+// ordinals, same candidate sets, same preferred processors. A corner
+// that chose identically but *reported* affinity differently would
+// poison counterfactual replay.
+func TestStealCornerLedgersMatch(t *testing.T) {
+	for _, c := range stealCorners {
+		ref := quick(Locking, c.equals)
+		ref.Processors = 4
+		refLed := obs.NewLedgerRecorder()
+		ref.DecisionRecorder = refLed
+
+		fam := quick(Locking, sched.AffinitySteal)
+		fam.Processors = 4
+		fam.Steal = c.params
+		famLed := obs.NewLedgerRecorder()
+		fam.DecisionRecorder = famLed
+
+		Run(ref)
+		Run(fam)
+		if !reflect.DeepEqual(refLed.Decisions(), famLed.Decisions()) {
+			t.Errorf("%s: decision ledger diverged from %v (%d vs %d decisions)",
+				c.name, c.equals, famLed.Len(), refLed.Len())
+		}
+	}
+}
+
+// Negative control: an interior family point (finite non-zero penalty,
+// depth gate, full bias) must NOT equal any corner's policy — if it
+// did, the parameters would be dead knobs and the search space a sham.
+func TestStealMidpointDiffersFromAllCorners(t *testing.T) {
+	mid := quick(Locking, sched.AffinitySteal)
+	mid.Processors = 4
+	mid.Arrival = traffic.Batch{PacketsPerSec: 2500, MeanBurst: 8}
+	mid.Steal = sched.StealParams{Penalty: 50, DepthThreshold: 2, ColdBias: 1}
+	got := normalizePolicy(Run(mid))
+	for _, k := range []sched.Kind{sched.FCFS, sched.MRU, sched.WiredStreams} {
+		ref := mid
+		ref.Policy = k
+		ref.Steal = sched.StealParams{}
+		if reflect.DeepEqual(got, normalizePolicy(Run(ref))) {
+			t.Errorf("interior point (50,2,1) equals %v — steal gate is a dead knob", k)
+		}
+	}
+}
+
+// Interior points must still conserve packets and stay deterministic —
+// the steal-refusal path (head left for its warm processor, unbounded
+// rescue scan) is the only queue discipline in the codebase that serves
+// out of arrival order from a central queue, so it gets its own pin.
+func TestStealInteriorConservationAndDeterminism(t *testing.T) {
+	for _, sp := range []sched.StealParams{
+		{Penalty: 50, DepthThreshold: 0, ColdBias: 1},
+		{Penalty: 0, DepthThreshold: 4, ColdBias: 0.5},
+		{Penalty: 200, DepthThreshold: 2, ColdBias: 0.25},
+	} {
+		p := quick(Locking, sched.AffinitySteal)
+		p.Processors = 4
+		p.Arrival = traffic.Batch{PacketsPerSec: 3000, MeanBurst: 16}
+		p.Steal = sp
+		p.Faults = (&faults.Plan{}).
+			Down(100*des.Millisecond, 1).
+			Up(250*des.Millisecond, 1)
+		a := Run(p)
+		accounted := a.CompletedTotal + uint64(a.InFlightAtEnd) + uint64(a.QueueAtEnd) + a.Dropped
+		if a.Arrivals != accounted {
+			t.Errorf("steal%+v: arrivals %d != completed %d + inflight %d + queued %d + dropped %d",
+				sp, a.Arrivals, a.CompletedTotal, a.InFlightAtEnd, a.QueueAtEnd, a.Dropped)
+		}
+		if b := Run(p); !reflect.DeepEqual(a, b) {
+			t.Errorf("steal%+v: two runs of identical Params differ", sp)
+		}
+	}
+}
+
+// Family parameter validation: the knobs have hard domains.
+func TestStealParamsValidate(t *testing.T) {
+	for _, bad := range []sched.StealParams{
+		{Penalty: -1},
+		{Penalty: math.NaN()},
+		{DepthThreshold: -1},
+		{ColdBias: -0.1},
+		{ColdBias: 1.1},
+	} {
+		p := quick(Locking, sched.AffinitySteal)
+		p.Steal = bad
+		if err := p.WithDefaults().Validate(); err == nil {
+			t.Errorf("Steal%+v validated", bad)
+		}
+	}
+	ok := quick(Locking, sched.AffinitySteal)
+	ok.Steal = sched.StealParams{Penalty: math.Inf(1), DepthThreshold: 3, ColdBias: 0.5}
+	if err := ok.WithDefaults().Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}

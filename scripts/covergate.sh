@@ -8,9 +8,11 @@
 # the cross-validation story), internal/obs (the recorder/ledger
 # layer, whose zero-overhead and round-trip contracts are pure test
 # surface), internal/des (the sharded parallel engine, whose
-# any-K determinism rests on its differential and fuzz harness) and
+# any-K determinism rests on its differential and fuzz harness),
 # internal/topo (the NUMA topology model, whose flat-machine no-op
-# contract is what keeps every pre-topology golden valid). The
+# contract is what keeps every pre-topology golden valid) and
+# internal/policysearch (the counterfactual replay engine, whose
+# zero-perturbation identity licenses every substituted replay). The
 # profile is written to $COVER_OUT (default cover.out) for CI to
 # upload as an artifact.
 #
@@ -30,15 +32,15 @@ out=${COVER_OUT:-cover.out}
 strict=${COVERGATE_STRICT:-0}
 
 # package → minimum statement coverage, percent
-floors='affinity/internal/sched=90 affinity/internal/live=85 affinity/internal/obs=90 affinity/internal/des=85 affinity/internal/topo=85'
+floors='affinity/internal/sched=90 affinity/internal/live=85 affinity/internal/obs=90 affinity/internal/des=85 affinity/internal/topo=85 affinity/internal/policysearch=85'
 
 repo_root=$(git rev-parse --show-toplevel)
 cd "$repo_root"
 
 echo "covergate: running tests with -coverprofile=$out"
 go test -count=1 -coverprofile="$out" \
-    -coverpkg=./internal/sched/...,./internal/live/...,./internal/obs/...,./internal/des/...,./internal/topo/... \
-    ./internal/sched/... ./internal/live/... ./internal/obs/... ./internal/des/... ./internal/topo/...
+    -coverpkg=./internal/sched/...,./internal/live/...,./internal/obs/...,./internal/des/...,./internal/topo/...,./internal/policysearch/... \
+    ./internal/sched/... ./internal/live/... ./internal/obs/... ./internal/des/... ./internal/topo/... ./internal/policysearch/...
 
 # Aggregate the profile per package. Blocks can appear once per test
 # binary (each -coverpkg binary reports every package), so a block
